@@ -1,0 +1,48 @@
+"""Benchmark / regeneration target for the phase-clock validation
+(Theorem 3.2): round lengths are Θ(log n) parallel time."""
+
+from __future__ import annotations
+
+import math
+
+from repro.clocks.phase_clock import JuntaPhaseClockProtocol
+from repro.clocks.round_tracker import PhaseStatistics, RoundLengthEstimator
+from repro.engine.engine import SequentialEngine
+from repro.experiments.lemmas import run_clock
+
+
+def test_clock_experiment(benchmark, smoke_config):
+    """Regenerate the round-length table of the clock experiment."""
+    result = benchmark.pedantic(run_clock, args=(smoke_config,), iterations=1, rounds=1)
+    rows = result.table("round length").rows
+    assert rows
+    for row in rows:
+        n = int(row[0])
+        if row[4] == "n/a":
+            continue
+        ratio = float(row[5])
+        # Θ(log n): the constant should be a small single/double digit number.
+        assert 0.5 < ratio < 30.0
+
+
+def test_bench_clock_round(benchmark):
+    """Time the simulation of ~one phase-clock round at n=512."""
+    n = 512
+    protocol = JuntaPhaseClockProtocol.for_population(n, gamma=24)
+
+    def kernel():
+        engine = SequentialEngine(protocol, n, rng=3)
+        estimator = RoundLengthEstimator(gamma=protocol.gamma)
+        # Run until two wraps (one full measured round) or a 200-unit cap.
+        for _ in range(800):
+            engine.run(n // 4)
+            estimator.observe(
+                PhaseStatistics.from_engine(engine, protocol.phase_of, protocol.gamma)
+            )
+            if estimator.completed_rounds() >= 1:
+                break
+        return estimator.round_lengths()
+
+    lengths = benchmark.pedantic(kernel, iterations=1, rounds=3)
+    if lengths:
+        assert 1.0 < lengths[0] / math.log2(n) < 30.0

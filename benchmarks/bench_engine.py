@@ -1,0 +1,77 @@
+"""Engine ablation benchmark (design-choice ablation from DESIGN.md).
+
+Compares the three simulation engines on the same workloads:
+
+* the exact per-agent :class:`SequentialEngine` (reference),
+* the exact count-based :class:`CountEngine`,
+* the approximate :class:`BatchEngine`.
+
+The interesting outputs are the relative throughputs (interactions per
+second) for a small-state-space workload (approximate majority), where the
+count-based engines shine, versus the GSU19 protocol, whose larger state
+space favours the per-agent engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import GSULeaderElection
+from repro.engine.batch_engine import BatchEngine
+from repro.engine.count_engine import CountEngine
+from repro.engine.engine import SequentialEngine
+from repro.protocols.approximate_majority import ApproximateMajority
+
+_N = 1024
+_INTERACTIONS = 50 * _N  # 50 parallel-time units
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [SequentialEngine, CountEngine, BatchEngine], ids=lambda c: c.__name__
+)
+def test_bench_majority_engines(benchmark, engine_cls):
+    """Throughput of each engine on the 3-state approximate-majority workload."""
+    protocol = ApproximateMajority(initial_a_fraction=0.7)
+
+    def kernel():
+        engine = engine_cls(protocol, _N, rng=1)
+        engine.run(_INTERACTIONS)
+        return engine
+
+    engine = benchmark(kernel)
+    assert sum(count for _, count in engine.state_count_items()) == _N
+
+
+@pytest.mark.parametrize(
+    "engine_cls", [SequentialEngine, CountEngine], ids=lambda c: c.__name__
+)
+def test_bench_gsu_engines(benchmark, engine_cls):
+    """Throughput of the exact engines on the GSU19 protocol (large state
+    space; the per-agent engine is expected to win here)."""
+    protocol = GSULeaderElection.for_population(_N)
+
+    def kernel():
+        engine = engine_cls(protocol, _N, rng=1)
+        engine.run(_INTERACTIONS)
+        return engine
+
+    engine = benchmark.pedantic(kernel, iterations=1, rounds=2)
+    assert sum(count for _, count in engine.state_count_items()) == _N
+
+
+def test_bench_transition_cache_effectiveness(benchmark):
+    """The memoised transition cache is the engine's key optimisation: after a
+    warm-up run its hit rate should be very high (new cache entries per
+    interaction should be tiny)."""
+    protocol = GSULeaderElection.for_population(_N)
+
+    def kernel():
+        engine = SequentialEngine(protocol, _N, rng=2)
+        engine.run(20 * _N)
+        warm_entries = len(engine._transition_cache)
+        engine.run(20 * _N)
+        return warm_entries, len(engine._transition_cache), engine
+
+    warm, total, engine = benchmark.pedantic(kernel, iterations=1, rounds=2)
+    new_entries = total - warm
+    assert new_entries < 20 * _N * 0.2, "cache miss rate should be far below 20%"

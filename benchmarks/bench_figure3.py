@@ -1,0 +1,32 @@
+"""Benchmark / regeneration target for the paper's Figure 3 (drag counter).
+
+Regenerates the drag-tick-interval series and the inhibitor drag-group
+census, asserting Lemma 7.1's geometric group sizes (the tick-interval
+growth itself needs larger populations than the smoke preset to show up
+reliably; the default-preset numbers are recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import measure_inhibitor_groups, run_figure3
+
+
+def test_figure3_experiment(benchmark, tiny_config):
+    """Regenerate Figure 3 (drag ticks + inhibitor groups) at smoke size."""
+    result = benchmark.pedantic(run_figure3, args=(tiny_config,), iterations=1, rounds=1)
+    groups = result.table("inhibitor drag groups (Lemma 7.1)").rows
+    assert groups
+    # Group sizes decay with the drag value for every population size.
+    by_n = {}
+    for row in groups:
+        by_n.setdefault(row[0], []).append((row[1], float(row[2])))
+    for points in by_n.values():
+        ordered = [value for _, value in sorted(points)]
+        assert all(later <= earlier for earlier, later in zip(ordered, ordered[1:]))
+
+
+def test_bench_inhibitor_group_measurement(benchmark):
+    """Time the inhibitor drag-group measurement kernel."""
+    census = benchmark(measure_inhibitor_groups, 512, 5)
+    assert sum(census.values()) > 0
+    assert census.get(0, 0) >= census.get(1, 0)

@@ -1,0 +1,65 @@
+"""Benchmark / regeneration target for the paper's Table 1.
+
+``test_table1_experiment`` regenerates the measured half of Table 1 (states
+versus time for the simulable protocols) at smoke size and asserts the
+qualitative facts the table conveys; the per-protocol benchmarks measure the
+cost of a single leader election for each simulated row, which is the
+quantity the "Time" column of Table 1 bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import GSULeaderElection
+from repro.engine.simulation import run_protocol
+from repro.experiments.table1 import run_table1
+from repro.protocols.gs18 import GS18LeaderElection
+from repro.protocols.lottery import LotteryLeaderElection
+from repro.protocols.slow import SlowLeaderElection
+
+_N = 256
+
+
+def _elect(protocol, n: int, seed: int):
+    convergence = protocol.convergence() if hasattr(protocol, "convergence") else None
+    result = run_protocol(
+        protocol, n, seed=seed, max_parallel_time=30_000, convergence=convergence
+    )
+    assert result.converged and result.leader_count == 1
+    return result
+
+
+def test_table1_experiment(benchmark, smoke_config):
+    """Regenerate Table 1 (measured rows + growth fits) at smoke size."""
+    result = benchmark.pedantic(run_table1, args=(smoke_config,), iterations=1, rounds=1)
+    measured = result.table("measured")
+    assert measured.rows, "Table 1 must contain measured rows"
+    # Every simulated run elected exactly one leader.
+    assert all(row[-1] == "yes" for row in measured.rows)
+    # The reference table reproduces the paper's asymptotic rows.
+    assert len(result.table("paper reference (asymptotic)").rows) == 8
+
+
+def test_bench_gsu19_single_election(benchmark):
+    """Time one full GSU19 leader election (this paper's protocol)."""
+    protocol = GSULeaderElection.for_population(_N)
+    result = benchmark(_elect, protocol, _N, 1)
+    assert result.states_used < 1000
+
+
+def test_bench_gs18_single_election(benchmark):
+    """Time one full GS18-style leader election (the paper's main comparator)."""
+    protocol = GS18LeaderElection.for_population(_N)
+    benchmark(_elect, protocol, _N, 1)
+
+
+def test_bench_slow_single_election(benchmark):
+    """Time one AAD+04 two-state leader election (Θ(n) expected time)."""
+    benchmark(_elect, SlowLeaderElection(), _N, 1)
+
+
+def test_bench_lottery_single_election(benchmark):
+    """Time one lottery leader election (Θ(log n) states, no clock)."""
+    protocol = LotteryLeaderElection.for_population(_N)
+    benchmark(_elect, protocol, _N, 1)

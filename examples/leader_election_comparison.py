@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Compare leader-election protocols (the measured version of Table 1).
+
+Runs four leader-election protocols — the constant-space AAD+04 protocol, an
+``O(log n)``-state lottery, a GS18-style ``O(log² n)`` protocol and the
+paper's GSU19 protocol — across a range of population sizes, then prints the
+measured parallel times, observed state usage and the growth-model fit for
+each protocol.
+
+Run with::
+
+    python examples/leader_election_comparison.py [--sizes 256 512 1024] [--repetitions 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import GSULeaderElection, run_protocol
+from repro.analysis.scaling import rank_models
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_text_table
+from repro.engine.rng import spawn_seeds
+from repro.protocols import GS18LeaderElection, LotteryLeaderElection, SlowLeaderElection
+from repro.viz.ascii import ascii_line_plot
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[256, 512, 1024])
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--budget", type=float, default=30_000.0)
+    return parser.parse_args()
+
+
+def build_protocols(n: int):
+    """The four simulable rows of Table 1, slowest first."""
+    return [
+        ("slow (AAD+04)", SlowLeaderElection()),
+        ("lottery", LotteryLeaderElection.for_population(n)),
+        ("gs18", GS18LeaderElection.for_population(n)),
+        ("gsu19 (this paper)", GSULeaderElection.for_population(n)),
+    ]
+
+
+def main() -> int:
+    args = parse_args()
+    rows = []
+    scaling_points = {}
+    for n in args.sizes:
+        seeds = spawn_seeds(1000 + n, args.repetitions)
+        for name, protocol in build_protocols(n):
+            times, states = [], []
+            for seed in seeds:
+                convergence = (
+                    protocol.convergence() if hasattr(protocol, "convergence") else None
+                )
+                result = run_protocol(
+                    protocol,
+                    n,
+                    seed=seed,
+                    max_parallel_time=args.budget,
+                    convergence=convergence,
+                )
+                assert result.leader_count == 1, f"{name} failed to elect a unique leader"
+                times.append(result.parallel_time)
+                states.append(result.states_used)
+            time_summary = summarize(times)
+            rows.append(
+                [
+                    name,
+                    n,
+                    time_summary.format(1),
+                    f"{summarize(states).mean:.0f}",
+                ]
+            )
+            scaling_points.setdefault(name, []).append((n, time_summary.mean))
+
+    print(
+        format_text_table(
+            ["protocol", "n", "parallel time (mean ± se)", "states used"], rows
+        )
+    )
+
+    print("\nGrowth-model fits (which asymptotic shape explains the data best):")
+    for name, points in scaling_points.items():
+        if len(points) < 2:
+            continue
+        ns = [n for n, _ in points]
+        times = [t for _, t in points]
+        best = rank_models(ns, times, ("log", "log_loglog", "log2", "linear"))[0]
+        print(f"  {name:22s} -> {best.describe()}")
+
+    print("\nParallel time vs n for gsu19 (this paper):")
+    print(ascii_line_plot(scaling_points["gsu19 (this paper)"], logx=True, x_label="n", y_label="parallel time"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Watch the junta-driven phase clock tick (Section 3 / Theorem 3.2).
+
+Runs the standalone junta-driven phase clock, samples the population's phase
+distribution over time, detects global rounds and prints their lengths —
+which should be a small constant multiple of ``log₂ n`` parallel time — and
+contrasts it with the simplified leaderless clock used as an ablation.
+
+Run with::
+
+    python examples/phase_clock_demo.py [population_size]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro.clocks import (
+    JuntaPhaseClockProtocol,
+    LeaderlessClockProtocol,
+    PhaseStatistics,
+    RoundLengthEstimator,
+)
+from repro.engine import SequentialEngine
+from repro.viz.ascii import sparkline
+
+
+def measure_rounds(protocol, n: int, *, horizon: float, seed: int):
+    """Run a clock protocol and return (round lengths, mean-phase trace)."""
+    engine = SequentialEngine(protocol, n, rng=seed)
+    estimator = RoundLengthEstimator(gamma=protocol.gamma)
+    trace = []
+    steps = int(horizon * 4)
+    for _ in range(steps):
+        engine.run(n // 4)
+        statistics = PhaseStatistics.from_engine(engine, protocol.phase_of, protocol.gamma)
+        trace.append(statistics.mean_phase)
+        estimator.observe(statistics)
+    return estimator.round_lengths(), trace
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 10
+    horizon = 40 * math.log2(n)
+
+    junta_clock = JuntaPhaseClockProtocol.for_population(n, gamma=24)
+    print(
+        f"Junta-driven clock: n={n}, gamma={junta_clock.gamma}, "
+        f"junta size={junta_clock.junta_size}"
+    )
+    lengths, trace = measure_rounds(junta_clock, n, horizon=horizon, seed=3)
+    print(f"mean clock phase over time: {sparkline(trace[:160])}")
+    if lengths:
+        mean_length = sum(lengths) / len(lengths)
+        print(
+            f"completed rounds: {len(lengths)}, mean round length = "
+            f"{mean_length:.1f} parallel time = {mean_length / math.log2(n):.2f} · log2(n)"
+        )
+    else:
+        print("no full round completed within the horizon — increase it")
+
+    print("\nLeaderless clock (ablation; every agent is a pacemaker):")
+    leaderless = LeaderlessClockProtocol(gamma=24)
+    lengths, trace = measure_rounds(leaderless, n, horizon=horizon, seed=3)
+    print(f"mean clock phase over time: {sparkline(trace[:160])}")
+    if lengths:
+        mean_length = sum(lengths) / len(lengths)
+        print(
+            f"completed rounds: {len(lengths)}, mean round length = "
+            f"{mean_length:.1f} parallel time = {mean_length / math.log2(n):.2f} · log2(n)"
+        )
+    print(
+        "\nThe paper's protocol needs the junta variant: its rounds are long and"
+        "\nregular enough to fit a coin-flip phase and a broadcast phase, which is"
+        "\nwhat the early/late halves of each round are used for."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable in offline environments that lack the
+``wheel`` package (pip then falls back to the classic ``setup.py develop``
+code path instead of building a PEP 660 editable wheel).
+"""
+
+from setuptools import setup
+
+setup()

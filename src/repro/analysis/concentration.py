@@ -1,0 +1,60 @@
+"""Concentration-inequality helpers.
+
+The paper's lemmas are concentration statements ("with very high probability
+``C_{ℓ+1}`` lies between ``(9/20)q²n`` and ``(11/10)q²n``", …).  The
+validation experiments and property tests check measured counts against
+bands derived from the same inequalities; this module provides the small
+amount of Chernoff/Hoeffding arithmetic those checks need.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "chernoff_bound_above",
+    "chernoff_bound_below",
+    "hoeffding_interval",
+    "within_relative_tolerance",
+]
+
+
+def chernoff_bound_above(mean: float, delta: float) -> float:
+    """Chernoff bound ``P[X ≥ (1+δ)µ] ≤ exp(−δ²µ/3)`` for sums of independent
+    0/1 variables with mean ``µ`` (valid for ``0 < δ ≤ 1``)."""
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if not 0 < delta <= 1:
+        raise ConfigurationError(f"delta must lie in (0, 1], got {delta}")
+    return math.exp(-(delta**2) * mean / 3.0)
+
+
+def chernoff_bound_below(mean: float, delta: float) -> float:
+    """Chernoff bound ``P[X ≤ (1−δ)µ] ≤ exp(−δ²µ/2)``."""
+    if mean < 0:
+        raise ConfigurationError(f"mean must be non-negative, got {mean}")
+    if not 0 < delta < 1:
+        raise ConfigurationError(f"delta must lie in (0, 1), got {delta}")
+    return math.exp(-(delta**2) * mean / 2.0)
+
+
+def hoeffding_interval(samples: int, confidence: float = 0.99) -> float:
+    """Half-width of a Hoeffding confidence interval for a mean of ``samples``
+    values bounded in ``[0, 1]``."""
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1, got {samples}")
+    if not 0 < confidence < 1:
+        raise ConfigurationError(f"confidence must lie in (0, 1), got {confidence}")
+    return math.sqrt(math.log(2.0 / (1.0 - confidence)) / (2.0 * samples))
+
+
+def within_relative_tolerance(measured: float, expected: float, tolerance: float) -> bool:
+    """Whether ``measured`` is within a multiplicative ``(1 ± tolerance)`` band
+    of ``expected`` (used when lemmas only promise constants "close to" one)."""
+    if tolerance < 0:
+        raise ConfigurationError(f"tolerance must be non-negative, got {tolerance}")
+    if expected == 0:
+        return abs(measured) <= tolerance
+    return abs(measured - expected) <= tolerance * abs(expected)

@@ -1,0 +1,62 @@
+"""State-usage accounting.
+
+The space complexity of a population protocol is the number of states each
+agent can take.  Empirically we report the number of *distinct states ever
+occupied* during a run (``RunResult.states_used``), which lower-bounds the
+true state count and, across growing ``n``, exposes the growth order that
+Table 1 compares (``O(1)``, ``O(log log n)``, ``O(log n)``, …).  Because
+every clock-driven protocol multiplies its space by the constant clock
+modulus ``Γ``, the summary also reports states normalised by ``Γ`` where a
+protocol exposes one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import SampleSummary, summarize
+from repro.engine.simulation import RunResult
+
+__all__ = ["StateUsage", "state_usage_from_results"]
+
+
+@dataclass(frozen=True)
+class StateUsage:
+    """Per-(protocol, n) summary of observed state usage."""
+
+    protocol_name: str
+    n: int
+    states: SampleSummary
+    clock_modulus: Optional[int] = None
+
+    @property
+    def per_clock_phase(self) -> Optional[float]:
+        """Mean observed states divided by the clock modulus, if known."""
+        if not self.clock_modulus:
+            return None
+        return self.states.mean / self.clock_modulus
+
+
+def state_usage_from_results(
+    results: Sequence[RunResult],
+    *,
+    clock_modulus: Optional[int] = None,
+) -> List[StateUsage]:
+    """Group run results by (protocol, n) and summarise their state usage."""
+    grouped: Dict[tuple, List[int]] = {}
+    for result in results:
+        grouped.setdefault((result.protocol_name, result.n), []).append(
+            result.states_used
+        )
+    usages = []
+    for (protocol_name, n), counts in sorted(grouped.items()):
+        usages.append(
+            StateUsage(
+                protocol_name=protocol_name,
+                n=n,
+                states=summarize(counts),
+                clock_modulus=clock_modulus,
+            )
+        )
+    return usages

@@ -1,0 +1,101 @@
+"""Summaries of repeated measurements.
+
+Experiment cells (one protocol, one population size) are repeated over many
+seeds; this module condenses the resulting samples into the statistics the
+tables report: mean, standard deviation, standard error, quantiles, and a
+bootstrap confidence interval for the mean (population-protocol convergence
+times are skewed, so a normal-approximation interval alone would be
+misleading for small repetition counts).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.engine.rng import make_rng
+from repro.errors import ConfigurationError
+
+__all__ = ["SampleSummary", "summarize", "quantile", "bootstrap_mean_ci"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Summary statistics of one sample of repeated measurements."""
+
+    count: int
+    mean: float
+    std: float
+    stderr: float
+    minimum: float
+    maximum: float
+    median: float
+    q25: float
+    q75: float
+
+    def format(self, precision: int = 2) -> str:
+        """``mean ± stderr`` rendering used in tables."""
+        return f"{self.mean:.{precision}f} ± {self.stderr:.{precision}f}"
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Compute a :class:`SampleSummary` of ``values``."""
+    if len(values) == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    data = np.asarray(list(values), dtype=np.float64)
+    count = int(data.size)
+    mean = float(data.mean())
+    std = float(data.std(ddof=1)) if count > 1 else 0.0
+    stderr = std / math.sqrt(count) if count > 1 else 0.0
+    return SampleSummary(
+        count=count,
+        mean=mean,
+        std=std,
+        stderr=stderr,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        median=float(np.median(data)),
+        q25=float(np.quantile(data, 0.25)),
+        q75=float(np.quantile(data, 0.75)),
+    )
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of ``values`` (``q`` in ``[0, 1]``)."""
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must lie in [0, 1], got {q}")
+    if len(values) == 0:
+        raise ConfigurationError("cannot take a quantile of an empty sample")
+    return float(np.quantile(np.asarray(list(values), dtype=np.float64), q))
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: Optional[int] = 0,
+) -> tuple:
+    """Percentile-bootstrap confidence interval for the mean of ``values``."""
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(
+            f"confidence must lie in (0, 1), got {confidence}"
+        )
+    if resamples < 1:
+        raise ConfigurationError(f"resamples must be >= 1, got {resamples}")
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if data.size == 1:
+        return (float(data[0]), float(data[0]))
+    rng = make_rng(seed)
+    indices = rng.integers(0, data.size, size=(resamples, data.size))
+    means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(means, alpha)),
+        float(np.quantile(means, 1.0 - alpha)),
+    )

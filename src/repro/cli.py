@@ -1,0 +1,147 @@
+"""Command-line interface.
+
+Run the reproduction experiments from a terminal::
+
+    python -m repro.cli list
+    python -m repro.cli run figure1 --preset smoke
+    python -m repro.cli run table1 --preset default --output results/
+    python -m repro.cli run-all --preset smoke
+
+The ``--preset`` option selects one of the
+:class:`~repro.experiments.config.ExperimentConfig` presets (``smoke``,
+``default``, ``large``); individual sweep parameters can be overridden with
+``--sizes``, ``--repetitions`` and ``--budget``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import write_result
+from repro.experiments.registry import available_experiments, run_experiment
+from repro.viz.report import render_report
+
+__all__ = ["main", "build_parser", "config_from_args"]
+
+_PRESETS = {
+    "smoke": ExperimentConfig.smoke,
+    "default": ExperimentConfig.default,
+    "large": ExperimentConfig.large,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduction experiments for 'Almost Logarithmic-Time Space Optimal "
+            "Leader Election in Population Protocols' (SPAA 2019)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--preset",
+            choices=sorted(_PRESETS),
+            default="smoke",
+            help="experiment configuration preset (default: smoke)",
+        )
+        sub.add_argument(
+            "--sizes",
+            type=int,
+            nargs="+",
+            default=None,
+            help="override the population sizes to sweep",
+        )
+        sub.add_argument(
+            "--repetitions",
+            type=int,
+            default=None,
+            help="override the number of seeds per population size",
+        )
+        sub.add_argument(
+            "--budget",
+            type=float,
+            default=None,
+            help="override the per-run parallel-time budget",
+        )
+        sub.add_argument(
+            "--output",
+            type=str,
+            default=None,
+            help="directory to write CSV/JSON/markdown results to",
+        )
+        sub.add_argument(
+            "--no-charts",
+            action="store_true",
+            help="do not print ASCII charts",
+        )
+
+    run_parser = subparsers.add_parser("run", help="run a single experiment")
+    run_parser.add_argument("experiment", choices=available_experiments())
+    add_common(run_parser)
+
+    run_all_parser = subparsers.add_parser("run-all", help="run every experiment")
+    add_common(run_all_parser)
+
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from parsed CLI arguments."""
+    config = _PRESETS[args.preset]()
+    if args.sizes:
+        config = config.with_sizes(args.sizes)
+    if args.repetitions:
+        config = config.with_repetitions(args.repetitions)
+    if args.budget:
+        config = ExperimentConfig(
+            population_sizes=config.population_sizes,
+            repetitions=config.repetitions,
+            base_seed=config.base_seed,
+            max_parallel_time=args.budget,
+            slow_protocol_max_n=config.slow_protocol_max_n,
+        )
+    return config
+
+
+def _run_one(name: str, config: ExperimentConfig, args: argparse.Namespace) -> None:
+    result = run_experiment(name, config)
+    print(render_report(result, charts=not args.no_charts))
+    if args.output:
+        directory = write_result(result, args.output)
+        print(f"\nresults written to {directory}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.command == "list":
+        for name in available_experiments():
+            print(name)
+        return 0
+
+    config = config_from_args(args)
+    if args.command == "run":
+        _run_one(args.experiment, config, args)
+        return 0
+    if args.command == "run-all":
+        for name in available_experiments():
+            _run_one(name, config, args)
+            print("\n" + "=" * 72 + "\n")
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

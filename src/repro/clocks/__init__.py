@@ -1,0 +1,45 @@
+"""Phase clocks for population protocols.
+
+The GSU19 protocol synchronises its epochs with a *junta-driven phase clock*
+(Section 3 of the paper, adopted from GS18): every agent keeps a phase in
+``{0, …, Γ−1}``; junta members ("clock leaders") push the phase forward by
+taking ``max_Γ(own, seen + 1)`` while all other agents copy ``max_Γ(own,
+seen)``.  The windowed maximum ``max_Γ`` keeps the population's phases inside
+a band of width ``Γ/2``, so the whole population cycles coherently and an
+agent's period between two *passes through 0* — a **round** — is
+``Θ(log n)`` parallel time (Theorem 3.2).
+
+This sub-package provides
+
+* the clock arithmetic (:func:`~repro.clocks.phase_clock.max_gamma`,
+  :class:`~repro.clocks.phase_clock.PhaseClockRules`),
+* a standalone clock protocol used to validate Theorem 3.2 empirically
+  (:class:`~repro.clocks.phase_clock.JuntaPhaseClockProtocol`),
+* a simplified leaderless clock used as an ablation substrate
+  (:class:`~repro.clocks.leaderless_clock.LeaderlessClockProtocol`),
+* round-tracking utilities (:mod:`repro.clocks.round_tracker`).
+"""
+
+from repro.clocks.phase_clock import (
+    ClockState,
+    JuntaPhaseClockProtocol,
+    PhaseClockRules,
+    max_gamma,
+)
+from repro.clocks.leaderless_clock import LeaderlessClockProtocol
+from repro.clocks.round_tracker import (
+    PhaseStatistics,
+    RoundLengthEstimator,
+    circular_mean_phase,
+)
+
+__all__ = [
+    "max_gamma",
+    "PhaseClockRules",
+    "ClockState",
+    "JuntaPhaseClockProtocol",
+    "LeaderlessClockProtocol",
+    "PhaseStatistics",
+    "RoundLengthEstimator",
+    "circular_mean_phase",
+]

@@ -1,0 +1,145 @@
+"""Round tracking and phase statistics.
+
+The clock experiments (Theorem 3.2 validation, calibration of ``Γ``) need to
+measure round lengths from the outside of a running engine.  Two mechanisms
+are provided:
+
+* :class:`PhaseStatistics` — summarises the phase distribution of the current
+  configuration (circular mean, spread, fraction in the early half) given an
+  accessor that extracts the phase from an agent state.
+* :class:`RoundLengthEstimator` — fed one :class:`PhaseStatistics` per check
+  point, it detects global round boundaries (wrap-arounds of the circular
+  mean) and reports the parallel-time length of each completed round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.engine.base import BaseEngine
+from repro.types import State
+
+__all__ = ["circular_mean_phase", "PhaseStatistics", "RoundLengthEstimator"]
+
+
+def circular_mean_phase(phases: List[int], counts: List[int], gamma: int) -> float:
+    """Circular mean of a weighted phase sample, in ``[0, Γ)``.
+
+    Phases live on a cycle, so the arithmetic mean is meaningless near the
+    wrap-around; the circular mean (angle of the average unit vector) is the
+    appropriate summary.
+    """
+    if not phases:
+        return 0.0
+    sin_sum = 0.0
+    cos_sum = 0.0
+    total = 0
+    for phase, count in zip(phases, counts):
+        angle = 2.0 * math.pi * phase / gamma
+        sin_sum += count * math.sin(angle)
+        cos_sum += count * math.cos(angle)
+        total += count
+    if total == 0:
+        return 0.0
+    angle = math.atan2(sin_sum / total, cos_sum / total)
+    if angle < 0:
+        angle += 2.0 * math.pi
+    return angle * gamma / (2.0 * math.pi)
+
+
+@dataclass
+class PhaseStatistics:
+    """Snapshot summary of the population's clock phases."""
+
+    parallel_time: float
+    mean_phase: float
+    min_phase: int
+    max_phase: int
+    early_fraction: float
+    population: int
+
+    @classmethod
+    def from_engine(
+        cls,
+        engine: BaseEngine,
+        phase_of: Callable[[State], Optional[int]],
+        gamma: int,
+    ) -> "PhaseStatistics":
+        """Collect phase statistics from an engine.
+
+        ``phase_of`` may return ``None`` for states that carry no clock (such
+        agents are excluded from the statistics).
+        """
+        phases: List[int] = []
+        counts: List[int] = []
+        early = 0
+        total = 0
+        min_phase = gamma
+        max_phase = -1
+        half = gamma // 2
+        for sid, count in engine.state_count_items():
+            phase = phase_of(engine.encoder.decode(sid))
+            if phase is None:
+                continue
+            phases.append(phase)
+            counts.append(count)
+            total += count
+            if phase < half:
+                early += count
+            min_phase = min(min_phase, phase)
+            max_phase = max(max_phase, phase)
+        if total == 0:
+            return cls(engine.parallel_time, 0.0, 0, 0, 0.0, 0)
+        return cls(
+            parallel_time=engine.parallel_time,
+            mean_phase=circular_mean_phase(phases, counts, gamma),
+            min_phase=min_phase,
+            max_phase=max_phase,
+            early_fraction=early / total,
+            population=total,
+        )
+
+
+@dataclass
+class RoundLengthEstimator:
+    """Detects global rounds from a stream of :class:`PhaseStatistics`.
+
+    A round boundary is declared when the circular mean phase wraps (drops by
+    more than ``Γ/2``).  Feeding statistics sampled at least a few times per
+    round is the caller's responsibility (the experiments sample once per
+    parallel-time unit, far finer than the ``Θ(log n)`` round length).
+    """
+
+    gamma: int
+    boundaries: List[float] = field(default_factory=list)
+    _last_mean: Optional[float] = None
+
+    def observe(self, statistics: PhaseStatistics) -> Optional[float]:
+        """Consume one snapshot; return the just-completed round length, if any.
+
+        Only wrap-to-wrap intervals count as rounds — the stretch between the
+        first observation and the first wrap is discarded because it is, in
+        general, only a fraction of a round.
+        """
+        mean = statistics.mean_phase
+        completed: Optional[float] = None
+        if self._last_mean is not None and self._last_mean - mean > self.gamma / 2:
+            # Wrapped: a global pass through zero happened since the last check.
+            if self.boundaries:
+                completed = statistics.parallel_time - self.boundaries[-1]
+            self.boundaries.append(statistics.parallel_time)
+        self._last_mean = mean
+        return completed
+
+    def round_lengths(self) -> List[float]:
+        """Parallel-time lengths of all completed rounds."""
+        return [
+            later - earlier
+            for earlier, later in zip(self.boundaries, self.boundaries[1:])
+        ]
+
+    def completed_rounds(self) -> int:
+        """Number of completed rounds observed so far."""
+        return max(0, len(self.boundaries) - 1)

@@ -1,0 +1,47 @@
+"""Synthetic coins for population protocols.
+
+Population-protocol transition functions are deterministic; protocols that
+need random bits extract them from the *scheduler* instead ("synthetic
+coins", Alistarh et al., SODA 2017).  Two mechanisms appear in this library:
+
+* the **uniform parity coin** — every agent toggles a bit at each interaction
+  it takes part in as responder; reading the partner's bit yields a bit with
+  bias converging to 1/2 geometrically fast
+  (:mod:`repro.coins.synthetic`);
+* the **assorted asymmetric coins** of GSU19 — the coin sub-population is
+  stratified into levels ``0 … Φ``; flipping the level-``ℓ`` coin means
+  checking whether one's interaction partner is a coin of level ``≥ ℓ``,
+  which succeeds with probability ``C_ℓ / n`` — roughly squaring with each
+  level (:mod:`repro.coins.biased`).
+
+:mod:`repro.coins.analysis` estimates empirical biases and level populations
+from running simulations and compares them with the theoretical recursion of
+Lemmas 5.1–5.3 (the content of the paper's Figure 1).
+"""
+
+from repro.coins.synthetic import ParityCoinProtocol, parity_flip
+from repro.coins.biased import (
+    BiasedCoinModel,
+    expected_level_counts,
+    heads_probability,
+    level_of_initiator,
+)
+from repro.coins.analysis import (
+    CoinLevelObservation,
+    coin_level_histogram,
+    empirical_bias,
+    junta_bounds,
+)
+
+__all__ = [
+    "ParityCoinProtocol",
+    "parity_flip",
+    "BiasedCoinModel",
+    "expected_level_counts",
+    "heads_probability",
+    "level_of_initiator",
+    "CoinLevelObservation",
+    "coin_level_histogram",
+    "empirical_bias",
+    "junta_bounds",
+]

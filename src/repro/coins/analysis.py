@@ -1,0 +1,117 @@
+"""Empirical analysis of coin levels and biases in running simulations.
+
+These helpers read an engine's current configuration and extract the
+quantities the paper's Figure 1 is about: the number ``C_ℓ`` of coins at each
+level ``ℓ`` or higher, the resulting empirical heads probabilities, and the
+junta size together with the ``[n^0.45, n^0.77]`` window of Lemma 5.3.
+
+The functions are written against *accessors* (``is_coin(state)``,
+``level_of(state)``) so they work for any protocol whose states expose a coin
+role and a level — by default they duck-type on ``state.role`` /
+``state.level`` as used by :class:`repro.core.state.GSUAgentState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.engine.base import BaseEngine
+from repro.types import Role, State
+
+__all__ = [
+    "CoinLevelObservation",
+    "coin_level_histogram",
+    "empirical_bias",
+    "junta_bounds",
+]
+
+
+def _default_is_coin(state: State) -> bool:
+    return getattr(state, "role", None) == Role.COIN
+
+
+def _default_level_of(state: State) -> int:
+    return int(getattr(state, "level", 0))
+
+
+@dataclass
+class CoinLevelObservation:
+    """Coin-level census of one configuration.
+
+    Attributes
+    ----------
+    n:
+        Population size.
+    at_level:
+        ``at_level[ℓ]`` = number of coins whose level is exactly ``ℓ``.
+    at_least:
+        ``at_least[ℓ]`` = number of coins whose level is ``≥ ℓ`` (the paper's
+        ``C_ℓ``).
+    """
+
+    n: int
+    at_level: List[int]
+    at_least: List[int]
+
+    @property
+    def total_coins(self) -> int:
+        """Total size of the coin sub-population."""
+        return self.at_least[0] if self.at_least else 0
+
+    @property
+    def junta_size(self) -> int:
+        """Number of coins at the top level (the phase-clock junta)."""
+        return self.at_level[-1] if self.at_level else 0
+
+    def heads_probability(self, level: int) -> float:
+        """Empirical heads probability of the level-``ℓ`` coin (``C_ℓ / n``)."""
+        if not 0 <= level < len(self.at_least):
+            raise IndexError(f"level {level} outside 0..{len(self.at_least) - 1}")
+        return self.at_least[level] / self.n
+
+
+def coin_level_histogram(
+    engine: BaseEngine,
+    *,
+    max_level: Optional[int] = None,
+    is_coin: Callable[[State], bool] = _default_is_coin,
+    level_of: Callable[[State], int] = _default_level_of,
+) -> CoinLevelObservation:
+    """Census of coin levels in the engine's current configuration."""
+    per_level: dict[int, int] = {}
+    highest = -1
+    for sid, count in engine.state_count_items():
+        state = engine.encoder.decode(sid)
+        if not is_coin(state):
+            continue
+        level = level_of(state)
+        per_level[level] = per_level.get(level, 0) + count
+        highest = max(highest, level)
+    if max_level is not None:
+        highest = max(highest, max_level)
+    size = highest + 1 if highest >= 0 else 0
+    at_level = [per_level.get(level, 0) for level in range(size)]
+    at_least: List[int] = [0] * size
+    running = 0
+    for level in range(size - 1, -1, -1):
+        running += at_level[level]
+        at_least[level] = running
+    return CoinLevelObservation(n=engine.n, at_level=at_level, at_least=at_least)
+
+
+def empirical_bias(observation: CoinLevelObservation) -> List[float]:
+    """Empirical heads probabilities ``q_ℓ = C_ℓ/n`` for every level."""
+    return [
+        observation.heads_probability(level)
+        for level in range(len(observation.at_least))
+    ]
+
+
+def junta_bounds(n: int, *, low_exponent: float = 0.45, high_exponent: float = 0.77) -> Tuple[float, float]:
+    """The ``[n^0.45, n^0.77]`` window of Lemma 5.3 for the junta size.
+
+    The exponents are parameters so experiments can report how tight the
+    window is at the (finite) population sizes we can simulate.
+    """
+    return (float(n) ** low_exponent, float(n) ** high_exponent)

@@ -1,0 +1,124 @@
+"""Assorted asymmetric (biased) synthetic coins — Section 5 of the paper.
+
+The coin sub-population ``C`` stratifies itself into levels ``0 … Φ`` through
+the coin-preprocessing rules (implemented in :mod:`repro.core.junta`).  If
+``C_ℓ`` coins reach level ``ℓ`` or higher, then *"tossing the ℓ-th
+asymmetric coin"* — an agent checking, when it acts as responder, whether
+its initiator is a coin of level ``≥ ℓ`` — comes up heads with probability
+``q_ℓ = C_ℓ / n``.  Lemmas 5.1–5.3 show ``C_{ℓ+1} ≈ C_ℓ² / n``, so the heads
+probability roughly squares from one level to the next, spanning the range
+from ``≈ 1/4`` (level 0) down to ``n^{-Θ(1)}`` (level ``Φ``, the junta).
+
+This module provides the *model* side: the idealised recursion, heads
+probabilities, and the helper used by protocols to evaluate a flip from the
+initiator's state.  The *empirical* side (measuring ``C_ℓ`` in a running
+simulation) lives in :mod:`repro.coins.analysis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "expected_level_counts",
+    "heads_probability",
+    "level_of_initiator",
+    "BiasedCoinModel",
+]
+
+
+def expected_level_counts(
+    n: int, phi: int, *, coin_fraction: float = 0.25
+) -> List[float]:
+    """Idealised ``C_ℓ`` for ``ℓ = 0 … Φ`` from the recursion ``C_{ℓ+1} = C_ℓ²/n``.
+
+    ``C_0 = coin_fraction · n`` (the paper's split yields ``n/4`` coins up to
+    lower-order terms).  The returned list has ``phi + 1`` entries.  This is
+    the idealised curve drawn in the paper's Figure 1
+    (``C_ℓ ≈ n / 2^{2^{ℓ+2} - 2}`` for ``coin_fraction = 1/4``).
+    """
+    if n < 2:
+        raise ConfigurationError(f"population size must be >= 2, got {n}")
+    if phi < 0:
+        raise ConfigurationError(f"phi must be non-negative, got {phi}")
+    if not 0 < coin_fraction <= 1:
+        raise ConfigurationError(
+            f"coin_fraction must lie in (0, 1], got {coin_fraction}"
+        )
+    counts = [coin_fraction * n]
+    for _ in range(phi):
+        counts.append(counts[-1] ** 2 / n)
+    return counts
+
+
+def heads_probability(level_counts: Sequence[float], level: int, n: int) -> float:
+    """Heads probability of the level-``ℓ`` coin given the ``C_ℓ`` values.
+
+    ``q_ℓ = C_ℓ / n`` where ``C_ℓ`` counts coins at level ``ℓ`` *or higher*.
+    """
+    if not 0 <= level < len(level_counts):
+        raise ConfigurationError(
+            f"level {level} outside the available range 0..{len(level_counts) - 1}"
+        )
+    return float(level_counts[level]) / n
+
+
+def level_of_initiator(
+    initiator_is_coin: bool, initiator_level: Optional[int]
+) -> Optional[int]:
+    """Level exposed by an initiator, or ``None`` when it is not a coin.
+
+    Convenience used at protocol call sites: flipping the level-``ℓ`` coin
+    returns heads iff this value is not ``None`` and ``≥ ℓ``.
+    """
+    if not initiator_is_coin:
+        return None
+    return initiator_level
+
+
+@dataclass(frozen=True)
+class BiasedCoinModel:
+    """Bundle of the idealised coin model for a given population size.
+
+    Attributes
+    ----------
+    n:
+        Population size the model refers to.
+    phi:
+        Highest coin level (the junta level).
+    level_counts:
+        Idealised ``C_ℓ`` values for ``ℓ = 0 … Φ``.
+    """
+
+    n: int
+    phi: int
+    level_counts: tuple
+
+    @classmethod
+    def for_population(
+        cls, n: int, phi: int, *, coin_fraction: float = 0.25
+    ) -> "BiasedCoinModel":
+        counts = expected_level_counts(n, phi, coin_fraction=coin_fraction)
+        return cls(n=n, phi=phi, level_counts=tuple(counts))
+
+    def heads_probability(self, level: int) -> float:
+        """Idealised heads probability ``q_ℓ`` of the level-``ℓ`` coin."""
+        return heads_probability(self.level_counts, level, self.n)
+
+    def expected_reduction(self, level: int, candidates: float) -> float:
+        """Expected number of candidates surviving one use of coin ``ℓ``.
+
+        Each of ``candidates`` agents survives independently with probability
+        ``q_ℓ`` (assuming at least one heads occurs), which is the idealised
+        per-application reduction used in the Figure 2 series.
+        """
+        q = self.heads_probability(level)
+        return max(1.0, candidates * q)
+
+    def flip(self, initiator_is_coin: bool, initiator_level: Optional[int], level: int) -> bool:
+        """Evaluate a flip of the level-``ℓ`` coin against an initiator."""
+        exposed = level_of_initiator(initiator_is_coin, initiator_level)
+        return exposed is not None and exposed >= level

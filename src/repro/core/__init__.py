@@ -1,0 +1,53 @@
+"""The paper's contribution: the GSU19 leader-election protocol.
+
+Sub-modules map one-to-one onto the paper's sections:
+
+======================================  =====================================
+module                                  paper section
+======================================  =====================================
+:mod:`repro.core.params`                non-uniform parameters (Γ, Φ, Ψ)
+:mod:`repro.core.state`                 agent states and sub-population roles
+:mod:`repro.core.roles`                 Section 4 — initialisation epoch
+:mod:`repro.core.junta`                 Section 5 — coins and junta formation
+:mod:`repro.core.inhibitors`            Section 7 — inhibitors / drag groups
+:mod:`repro.core.fast_elimination`      Section 6 — fast elimination rounds
+:mod:`repro.core.final_elimination`     Section 7 — drag counter rules
+:mod:`repro.core.backup`                Section 8 — slow backup, seniority
+:mod:`repro.core.protocol`              assembled protocol (Theorem 8.2)
+:mod:`repro.core.monitor`               experiment-facing metrics/recorders
+:mod:`repro.core.theory`                closed-form predictions of the lemmas
+======================================  =====================================
+"""
+
+from repro.core.params import GSUParams
+from repro.core.state import (
+    GSUAgentState,
+    coin_state,
+    deactivated_state,
+    inhibitor_state,
+    intermediate_state,
+    is_active_leader,
+    is_alive_leader,
+    leader_state,
+    seniority_key,
+    zero_state,
+)
+from repro.core.protocol import GSULeaderElection
+from repro.core import monitor, theory
+
+__all__ = [
+    "GSUParams",
+    "GSUAgentState",
+    "GSULeaderElection",
+    "zero_state",
+    "intermediate_state",
+    "deactivated_state",
+    "coin_state",
+    "inhibitor_state",
+    "leader_state",
+    "is_alive_leader",
+    "is_active_leader",
+    "seniority_key",
+    "monitor",
+    "theory",
+]

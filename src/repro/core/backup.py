@@ -1,0 +1,63 @@
+"""Slow backup protocol with a seniority order (Section 8, rule (11)).
+
+Running in the background of all three epochs is the constant-space leader
+election of Angluin et al. (PODC 2004): whenever two *alive* candidates
+(states ``L⟨A⟩`` or ``L⟨P⟩``) interact directly, exactly one of them
+survives.  This guarantees a unique leader is eventually elected even if the
+phase clock desynchronises or every candidate goes passive, at the cost of
+``O(n)`` parallel time — which only matters in the negligible-probability
+failure branch.
+
+Ties are broken by a **seniority order** (higher drag ≻ active over passive
+≻ smaller ``cnt`` ≻ heads ≻ none ≻ tails; see
+:func:`repro.core.state.seniority_key`) so the backup can never eliminate
+the alive candidate carrying the maximum drag — the invariant behind
+Lemma 8.1.  When the two candidates compare equal the responder withdraws,
+so every direct encounter eliminates exactly one of the two, as in the
+original constant-space protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.context import InteractionContext
+from repro.core.params import GSUParams
+from repro.core.state import GSUAgentState, is_alive_leader, seniority_key
+from repro.types import Flip, LeaderMode
+
+__all__ = ["apply_slow_backup"]
+
+
+def apply_slow_backup(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Rule (11): on a direct encounter of two alive candidates, the junior
+    one withdraws (the responder withdraws on a perfect tie)."""
+    if not (is_alive_leader(responder) and is_alive_leader(initiator)):
+        return responder, initiator
+
+    responder_key = seniority_key(responder)
+    initiator_key = seniority_key(initiator)
+
+    if responder_key > initiator_key:
+        demoted = initiator.evolve(
+            leader_mode=LeaderMode.WITHDRAWN,
+            cnt=0,
+            flip=Flip.NONE,
+            void=True,
+            drag=max(initiator.drag, responder.drag),
+        )
+        return responder, demoted
+
+    demoted = responder.evolve(
+        leader_mode=LeaderMode.WITHDRAWN,
+        cnt=0,
+        flip=Flip.NONE,
+        void=True,
+        drag=max(initiator.drag, responder.drag),
+    )
+    return demoted, initiator

@@ -1,0 +1,35 @@
+"""Per-interaction context shared by the GSU19 rule modules.
+
+The paper annotates transition rules with arrows: plain ``→`` rules apply to
+every interaction, ``→0`` rules apply when the responder's clock *passes
+through 0* in this interaction, ``early→`` rules when both the start and end
+phase lie in the early half ``[0, Γ/2)``, and ``late→`` rules when both lie
+in the late half ``[Γ/2, Γ)``.  The protocol driver computes these three
+booleans once per interaction (from the responder's clock update) and passes
+them to every rule module through :class:`InteractionContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InteractionContext"]
+
+
+@dataclass(frozen=True)
+class InteractionContext:
+    """Clock-derived qualifiers of the current interaction.
+
+    Attributes
+    ----------
+    passed_zero:
+        The responder's phase wrapped past 0 in this interaction (``→0``).
+    early:
+        Start and end phase both in ``[0, Γ/2)`` (``early→``).
+    late:
+        Start and end phase both in ``[Γ/2, Γ)`` (``late→``).
+    """
+
+    passed_zero: bool = False
+    early: bool = False
+    late: bool = False

@@ -1,0 +1,114 @@
+"""Leader-candidate round machinery: reset, coin flips, heads epidemic.
+
+These rules implement the per-round elimination cycle shared by the fast
+elimination epoch (Section 6) and the final elimination epoch (Section 7):
+
+* **Round reset** (rule (3) and its final-elimination analogue): when a
+  leader candidate's clock passes through 0 it starts a new round — the
+  round counter ``cnt`` is decremented while positive, the flip result is
+  cleared and the round is marked void.
+* **Coin flip** (rules (4)/(5), ``early→``): in the first half of a round an
+  *active* candidate that has not flipped yet evaluates the scheduled
+  synthetic coin against its interaction partner: heads iff the initiator is
+  a coin of level ``≥ γ(cnt)`` (level 0 during final elimination).  Heads
+  additionally clears the candidate's ``void`` flag, seeding the epidemic.
+* **Heads epidemic** (rules (6)/(7), ``late→``): in the second half of the
+  round the information "someone flipped heads" spreads among leader
+  candidates; an active candidate that flipped tails and learns of a heads
+  becomes *passive*.
+
+The fast-elimination epoch applies the biased coins ``Φ, Φ, Φ, Φ, Φ−1, Φ−1,
+…, 1, 1`` (one per round, via the countdown ``cnt``), reducing the number of
+active candidates from ``≈ n/2`` to ``O(log n)`` whp (Lemma 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.context import InteractionContext
+from repro.core.params import GSUParams
+from repro.core.state import GSUAgentState
+from repro.types import Flip, LeaderMode, Role
+
+__all__ = ["apply_round_reset", "apply_coin_flip", "apply_heads_epidemic"]
+
+
+def apply_round_reset(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Rule (3) / the final-elimination reset: start a new round at a pass
+    through 0 (decrement ``cnt`` while positive, clear flip, mark void)."""
+    if not ctx.passed_zero or responder.role != Role.LEADER:
+        return responder, initiator
+    if responder.leader_mode == LeaderMode.WITHDRAWN:
+        return responder, initiator
+    new_cnt = responder.cnt - 1 if responder.cnt >= 1 else 0
+    if (
+        new_cnt == responder.cnt
+        and responder.flip == Flip.NONE
+        and responder.void
+    ):
+        return responder, initiator
+    return (
+        responder.evolve(cnt=new_cnt, flip=Flip.NONE, void=True),
+        initiator,
+    )
+
+
+def apply_coin_flip(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Rules (4)/(5): flip the scheduled synthetic coin (``early→``)."""
+    if not ctx.early or responder.role != Role.LEADER:
+        return responder, initiator
+    if responder.leader_mode != LeaderMode.ACTIVE:
+        return responder, initiator
+    if responder.flip != Flip.NONE:
+        return responder, initiator
+    # No coin flips during the very first round (cnt == 2Φ+3): roles and coin
+    # levels are still stabilising.
+    if responder.cnt == params.initial_cnt:
+        return responder, initiator
+
+    level = params.coin_level_for_cnt(responder.cnt)
+    heads = initiator.role == Role.COIN and initiator.level >= level
+    if heads:
+        return responder.evolve(flip=Flip.HEADS, void=False), initiator
+    return responder.evolve(flip=Flip.TAILS), initiator
+
+
+def apply_heads_epidemic(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Rules (6)/(7): spread "someone flipped heads" and demote tails
+    flippers to passive (``late→``)."""
+    if not ctx.late or responder.role != Role.LEADER:
+        return responder, initiator
+    if responder.leader_mode == LeaderMode.WITHDRAWN:
+        return responder, initiator
+    if not responder.void:
+        return responder, initiator
+    if initiator.role != Role.LEADER or initiator.void:
+        return responder, initiator
+    if initiator.leader_mode == LeaderMode.WITHDRAWN:
+        return responder, initiator
+
+    # Rule (6): an active candidate that flipped tails learns someone flipped
+    # heads and becomes passive.
+    if responder.leader_mode == LeaderMode.ACTIVE and responder.flip == Flip.TAILS:
+        return (
+            responder.evolve(leader_mode=LeaderMode.PASSIVE, void=False),
+            initiator,
+        )
+    # Rule (7): pure information spreading.
+    return responder.evolve(void=False), initiator

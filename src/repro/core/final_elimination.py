@@ -1,0 +1,89 @@
+"""Final-elimination epoch: the drag counter (Section 7).
+
+After fast elimination, ``O(log n)`` active candidates remain and every
+round they flip the almost-fair level-0 coin; losers become passive.  Two
+extra rules make this last phase both fast *in expectation* and safe
+(Las Vegas):
+
+* **Rule (10)** — an *active* candidate that flipped heads and meets a
+  ``high`` inhibitor of its own drag value advances its drag by one.  The
+  inhibitor sub-group of drag ``x`` has size ``≈ n·4^{-x}`` and is only
+  elevated to ``high`` by active candidates of drag ``x`` (rule (8) in
+  :mod:`repro.core.inhibitors`), so consecutive drag increments are spaced
+  ``Θ(4^x log n)`` parallel time apart (Lemma 7.2): the drag counter is a
+  clock that slows down exponentially.
+* **Rule (9)** — a candidate that meets a leader-role agent with a strictly
+  higher drag becomes withdrawn and adopts the higher drag value (so the
+  value keeps propagating).  Seeing a higher drag is *evidence that an
+  active candidate existed after the observer fell behind*, which is what
+  makes withdrawal safe even if the phase clock desynchronises: the alive
+  candidate with the maximum drag can never be withdrawn by this rule.
+
+Both rules are restricted to candidates that have finished the fast
+elimination schedule (``cnt == 0``); drag is meaningless before that.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.context import InteractionContext
+from repro.core.params import GSUParams
+from repro.core.state import GSUAgentState
+from repro.types import Elevation, Flip, LeaderMode, Role
+
+__all__ = ["apply_drag_rules"]
+
+
+def apply_drag_rules(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Apply rules (9) and (10) to a responder leader candidate."""
+    if responder.role != Role.LEADER:
+        return responder, initiator
+
+    # ------------------------------------------------------------------
+    # Rule (9): withdraw behind a strictly higher drag value (and adopt it).
+    # ------------------------------------------------------------------
+    if (
+        initiator.role == Role.LEADER
+        and initiator.drag > responder.drag
+        and responder.leader_mode != LeaderMode.WITHDRAWN
+    ):
+        return (
+            responder.evolve(
+                leader_mode=LeaderMode.WITHDRAWN,
+                drag=initiator.drag,
+                cnt=0,
+                flip=Flip.NONE,
+                void=True,
+            ),
+            initiator,
+        )
+
+    # Withdrawn carriers also keep propagating the maximum drag they see.
+    if (
+        initiator.role == Role.LEADER
+        and initiator.drag > responder.drag
+        and responder.leader_mode == LeaderMode.WITHDRAWN
+    ):
+        return responder.evolve(drag=initiator.drag), initiator
+
+    # ------------------------------------------------------------------
+    # Rule (10): active + heads + high inhibitor of the same drag -> drag+1.
+    # ------------------------------------------------------------------
+    if (
+        responder.leader_mode == LeaderMode.ACTIVE
+        and responder.cnt == 0
+        and responder.flip == Flip.HEADS
+        and responder.drag < params.psi
+        and initiator.role == Role.INHIBITOR
+        and initiator.elevation == Elevation.HIGH
+        and initiator.drag == responder.drag
+    ):
+        return responder.evolve(drag=responder.drag + 1), initiator
+
+    return responder, initiator

@@ -1,0 +1,62 @@
+"""Coin preprocessing: level formation and junta election (Section 5).
+
+Every coin starts at ``level = 0`` in the ``advancing`` mode and repeatedly
+applies the following rules when it acts as responder (they closely follow
+the junta-formation protocol of GS18):
+
+* meeting a non-coin stops the coin at its current level,
+* meeting a coin of a *lower* level stops it as well,
+* meeting a coin of level ``≥`` its own advances it by one level (while the
+  level is below ``Φ``).
+
+The number ``C_ℓ`` of coins reaching level ``ℓ`` therefore roughly squares
+downwards (``C_{ℓ+1} ≈ C_ℓ²/n``, Lemmas 5.1–5.2), and the coins that reach
+the top level ``Φ`` — between ``n^0.45`` and ``n^0.77`` of them whp
+(Lemma 5.3) — become the **junta** that powers the phase clock.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.context import InteractionContext
+from repro.core.params import GSUParams
+from repro.core.state import GSUAgentState
+from repro.types import CoinMode, Role
+
+__all__ = ["apply_coin_preprocessing"]
+
+
+def apply_coin_preprocessing(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Advance or stop the responder coin's level."""
+    if responder.role != Role.COIN or responder.coin_mode != CoinMode.ADVANCING:
+        return responder, initiator
+
+    level = responder.level
+
+    # Meeting anything that is not a coin stops level growth.
+    if initiator.role != Role.COIN:
+        return responder.evolve(coin_mode=CoinMode.STOPPED), initiator
+
+    # Meeting a coin of a strictly lower level stops level growth.
+    if initiator.level < level:
+        return responder.evolve(coin_mode=CoinMode.STOPPED), initiator
+
+    # Meeting a coin of level >= own advances by one, up to Φ.  Reaching Φ
+    # freezes the coin (it "stops growing") and promotes it into the junta —
+    # membership is implied by ``level == Φ`` and needs no extra field.
+    if level < params.phi:
+        new_level = level + 1
+        new_mode = (
+            CoinMode.STOPPED if new_level >= params.phi else CoinMode.ADVANCING
+        )
+        return responder.evolve(level=new_level, coin_mode=new_mode), initiator
+
+    # Already at Φ while still marked advancing (can only happen for
+    # degenerate parameters); freeze defensively.
+    return responder.evolve(coin_mode=CoinMode.STOPPED), initiator

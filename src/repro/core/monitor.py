@@ -1,0 +1,213 @@
+"""Monitoring helpers for the GSU19 protocol.
+
+The experiment harness needs to look *inside* a running simulation: how many
+candidates are still active after each biased-coin application (Figure 2),
+when each drag value first appears (Figure 3), how large the junta is
+(Figure 1 / Lemma 5.3), how many agents failed to get a role (Lemma 4.1).
+This module provides metric functions over an engine plus the recorders that
+collect the corresponding time series without touching the hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.state import GSUAgentState, is_active_leader, is_alive_leader
+from repro.engine.base import BaseEngine
+from repro.engine.recorder import Recorder
+from repro.types import Elevation, LeaderMode, Role
+
+__all__ = [
+    "role_census",
+    "active_leader_count",
+    "alive_leader_count",
+    "uninitialised_count",
+    "max_leader_drag",
+    "min_active_cnt",
+    "inhibitor_drag_census",
+    "high_inhibitor_census",
+    "FastEliminationTracker",
+    "DragTickTracker",
+    "RoleCensusRecorder",
+]
+
+
+# ----------------------------------------------------------------------
+# Metric functions (engine -> number / dict)
+# ----------------------------------------------------------------------
+def role_census(engine: BaseEngine) -> Dict[Role, int]:
+    """Number of agents per role in the current configuration."""
+    census: Dict[Role, int] = {role: 0 for role in Role}
+    for sid, count in engine.state_count_items():
+        state: GSUAgentState = engine.encoder.decode(sid)
+        census[state.role] = census.get(state.role, 0) + count
+    return census
+
+
+def active_leader_count(engine: BaseEngine) -> int:
+    """Number of *active* candidates (``L⟨A⟩``)."""
+    return engine.count_where(is_active_leader)
+
+
+def alive_leader_count(engine: BaseEngine) -> int:
+    """Number of *alive* candidates (``L⟨A⟩`` or ``L⟨P⟩``)."""
+    return engine.count_where(is_alive_leader)
+
+
+def uninitialised_count(engine: BaseEngine) -> int:
+    """Number of agents still in role ``0`` or ``X`` (Lemma 4.1's quantity)."""
+    return engine.count_where(
+        lambda state: state.role in (Role.ZERO, Role.X)
+    )
+
+
+def max_leader_drag(engine: BaseEngine) -> int:
+    """Largest drag value currently held by any leader-role agent."""
+    best = 0
+    for sid, count in engine.state_count_items():
+        state: GSUAgentState = engine.encoder.decode(sid)
+        if count and state.role == Role.LEADER:
+            best = max(best, state.drag)
+    return best
+
+
+def min_active_cnt(engine: BaseEngine) -> Optional[int]:
+    """Smallest round counter among active candidates (``None`` if none)."""
+    best: Optional[int] = None
+    for sid, count in engine.state_count_items():
+        state: GSUAgentState = engine.encoder.decode(sid)
+        if count and is_active_leader(state):
+            best = state.cnt if best is None else min(best, state.cnt)
+    return best
+
+
+def inhibitor_drag_census(engine: BaseEngine) -> Dict[int, int]:
+    """Number of inhibitors per drag value (Lemma 7.1's ``D_ℓ``)."""
+    census: Dict[int, int] = {}
+    for sid, count in engine.state_count_items():
+        state: GSUAgentState = engine.encoder.decode(sid)
+        if count and state.role == Role.INHIBITOR:
+            census[state.drag] = census.get(state.drag, 0) + count
+    return census
+
+
+def high_inhibitor_census(engine: BaseEngine) -> Dict[int, int]:
+    """Number of ``high`` inhibitors per drag value."""
+    census: Dict[int, int] = {}
+    for sid, count in engine.state_count_items():
+        state: GSUAgentState = engine.encoder.decode(sid)
+        if (
+            count
+            and state.role == Role.INHIBITOR
+            and state.elevation == Elevation.HIGH
+        ):
+            census[state.drag] = census.get(state.drag, 0) + count
+    return census
+
+
+# ----------------------------------------------------------------------
+# Recorders
+# ----------------------------------------------------------------------
+@dataclass
+class FastEliminationTracker(Recorder):
+    """Tracks the number of active candidates as the coin schedule advances.
+
+    At every check point the tracker records the smallest ``cnt`` among
+    active candidates together with the current number of active and alive
+    candidates.  :meth:`survivors_per_cnt` post-processes the series into
+    "active candidates remaining when the round with counter value ``cnt``
+    was last observed", which is the series plotted in the paper's Figure 2
+    (one point per biased-coin application).
+    """
+
+    times: List[float] = field(default_factory=list)
+    cnt_values: List[Optional[int]] = field(default_factory=list)
+    active_counts: List[int] = field(default_factory=list)
+    alive_counts: List[int] = field(default_factory=list)
+
+    def record(self, engine: BaseEngine) -> None:
+        self.times.append(engine.parallel_time)
+        self.cnt_values.append(min_active_cnt(engine))
+        self.active_counts.append(active_leader_count(engine))
+        self.alive_counts.append(alive_leader_count(engine))
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.cnt_values.clear()
+        self.active_counts.clear()
+        self.alive_counts.clear()
+
+    def survivors_per_cnt(self) -> Dict[int, int]:
+        """Active candidates observed at the last check of each ``cnt`` value."""
+        survivors: Dict[int, int] = {}
+        for cnt, active in zip(self.cnt_values, self.active_counts):
+            if cnt is None:
+                continue
+            survivors[cnt] = active
+        return survivors
+
+
+@dataclass
+class DragTickTracker(Recorder):
+    """Records when each drag value first appears among leader-role agents.
+
+    The gaps between consecutive first-appearance times are the empirical
+    ``T_ℓ`` of Lemma 7.2 / Figure 3 (expressed in parallel time).  Because
+    every leader candidate starts with drag 0 long before the drag machinery
+    is in play, the drag-0 timestamp is taken as the moment the first
+    candidate *enters the final-elimination epoch* (``cnt == 0``); the
+    interval to the first drag-1 candidate is then the genuine first tick.
+    """
+
+    first_seen: Dict[int, float] = field(default_factory=dict)
+
+    def record(self, engine: BaseEngine) -> None:
+        if 0 not in self.first_seen:
+            entered_final_epoch = any(
+                count > 0
+                and (state := engine.encoder.decode(sid)).role == Role.LEADER
+                and state.leader_mode != LeaderMode.WITHDRAWN
+                and state.cnt == 0
+                for sid, count in engine.state_count_items()
+            )
+            if entered_final_epoch:
+                self.first_seen[0] = engine.parallel_time
+        drag = max_leader_drag(engine)
+        for value in range(1, drag + 1):
+            self.first_seen.setdefault(value, engine.parallel_time)
+
+    def reset(self) -> None:
+        self.first_seen.clear()
+
+    def tick_intervals(self) -> Dict[int, float]:
+        """Parallel time between the first appearances of drag ``ℓ`` and ``ℓ+1``."""
+        intervals: Dict[int, float] = {}
+        levels = sorted(self.first_seen)
+        for earlier, later in zip(levels, levels[1:]):
+            if later == earlier + 1:
+                intervals[earlier] = self.first_seen[later] - self.first_seen[earlier]
+        return intervals
+
+
+@dataclass
+class RoleCensusRecorder(Recorder):
+    """Records the role census over time (used for Lemma 4.1 and reports)."""
+
+    times: List[float] = field(default_factory=list)
+    censuses: List[Dict[Role, int]] = field(default_factory=list)
+
+    def record(self, engine: BaseEngine) -> None:
+        self.times.append(engine.parallel_time)
+        self.censuses.append(role_census(engine))
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.censuses.clear()
+
+    def series_for(self, role: Role) -> List[tuple]:
+        """Time series of one role's population."""
+        return [
+            (time, census.get(role, 0))
+            for time, census in zip(self.times, self.censuses)
+        ]

@@ -1,0 +1,159 @@
+"""The assembled GSU19 leader-election protocol.
+
+:class:`GSULeaderElection` wires the rule modules of this package into a
+single deterministic transition function, in the order the paper composes
+them (non-conflicting rules of different sub-populations "happen in
+parallel"; within one interaction we apply them to the responder in a fixed
+order, which is equivalent because each rule family touches disjoint fields
+or is guarded by the role):
+
+1. phase-clock update of the responder (Section 3),
+2. initialisation / role assignment and deactivation (Section 4, rules (1)–(2)),
+3. coin preprocessing — level growth and junta formation (Section 5),
+4. inhibitor drag preprocessing and slowed-down signalling (Section 7, rule (8)),
+5. leader round reset (rule (3)), coin flip (rules (4)–(5)) and heads
+   epidemic (rules (6)–(7)) — Sections 6 and 7,
+6. drag adoption / increment (rules (9)–(10)) — Section 7,
+7. the slow backup with seniority (Section 8, rule (11)).
+
+The output map sends the *alive* candidates (``L⟨A⟩`` and ``L⟨P⟩``) to the
+leader output and every other state to the follower output, exactly as in
+Section 8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.clocks.phase_clock import PhaseClockRules
+from repro.core.backup import apply_slow_backup
+from repro.core.context import InteractionContext
+from repro.core.fast_elimination import (
+    apply_coin_flip,
+    apply_heads_epidemic,
+    apply_round_reset,
+)
+from repro.core.final_elimination import apply_drag_rules
+from repro.core.inhibitors import apply_inhibitor_rules
+from repro.core.junta import apply_coin_preprocessing
+from repro.core.params import GSUParams
+from repro.core.roles import apply_initialisation
+from repro.core.state import GSUAgentState, is_alive_leader, zero_state
+from repro.engine.base import BaseEngine
+from repro.engine.convergence import SingleLeader
+from repro.engine.protocol import FOLLOWER_OUTPUT, LEADER_OUTPUT, PopulationProtocol
+from repro.types import Role
+
+__all__ = ["GSULeaderElection"]
+
+
+class GSULeaderElection(PopulationProtocol):
+    """The ``O(log n · log log n)`` expected-time leader election of GSU19.
+
+    Instances are deterministic transition machines parameterised by
+    :class:`~repro.core.params.GSUParams`; all randomness comes from the
+    simulation scheduler.  Use :meth:`for_population` to build an instance
+    with parameters derived from the population size::
+
+        protocol = GSULeaderElection.for_population(1 << 12)
+        result = run_protocol(protocol, 1 << 12, seed=3, max_parallel_time=4000)
+        assert result.leader_count == 1
+    """
+
+    name = "gsu19-leader-election"
+
+    def __init__(self, params: GSUParams) -> None:
+        self.params = params
+        self.clock = PhaseClockRules(params.gamma)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_population(
+        cls,
+        n: int,
+        *,
+        gamma: Optional[int] = None,
+        phi: Optional[int] = None,
+        psi: Optional[int] = None,
+    ) -> "GSULeaderElection":
+        """Build the protocol with parameters derived from ``n``."""
+        return cls(GSUParams.from_population_size(n, gamma=gamma, phi=phi, psi=psi))
+
+    # ------------------------------------------------------------------
+    # PopulationProtocol interface
+    # ------------------------------------------------------------------
+    def initial_state(self, n: int) -> GSUAgentState:
+        return zero_state()
+
+    def initial_configuration(self, n: int) -> Sequence[GSUAgentState]:
+        return [zero_state()] * n
+
+    def transition(self, responder: GSUAgentState, initiator: GSUAgentState):
+        params = self.params
+        clock = self.clock
+
+        # 1. Phase-clock update of the responder.
+        old_phase = responder.phase
+        new_phase = clock.advance(
+            old_phase, initiator.phase, responder.is_junta(params.phi)
+        )
+        ctx = InteractionContext(
+            passed_zero=clock.passed_zero(old_phase, new_phase),
+            early=clock.is_early(old_phase, new_phase),
+            late=clock.is_late(old_phase, new_phase),
+        )
+        updated = responder.with_phase(new_phase)
+        partner = initiator
+
+        # 2. Initialisation / role assignment.  If a role was assigned (or an
+        # agent deactivated) in this interaction, the agents do not also act
+        # in their new roles within the same interaction — the remaining rule
+        # families are skipped.  Without this, e.g. a freshly created coin
+        # would immediately be stopped by its own creation partner.
+        updated, partner = apply_initialisation(updated, partner, ctx, params)
+        if updated.role != responder.role or partner.role != initiator.role:
+            return updated, partner
+
+        # 3-7. Sub-population rules (each family is role-guarded).
+        updated, partner = apply_coin_preprocessing(updated, partner, ctx, params)
+        updated, partner = apply_inhibitor_rules(updated, partner, ctx, params)
+        updated, partner = apply_round_reset(updated, partner, ctx, params)
+        updated, partner = apply_coin_flip(updated, partner, ctx, params)
+        updated, partner = apply_heads_epidemic(updated, partner, ctx, params)
+        updated, partner = apply_drag_rules(updated, partner, ctx, params)
+        updated, partner = apply_slow_backup(updated, partner, ctx, params)
+        return updated, partner
+
+    def output(self, state: GSUAgentState) -> str:
+        return LEADER_OUTPUT if is_alive_leader(state) else FOLLOWER_OUTPUT
+
+    def describe_state(self, state: GSUAgentState) -> str:
+        return state.describe()
+
+    # ------------------------------------------------------------------
+    # Convergence helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def no_uninitialised_agents(engine: BaseEngine) -> bool:
+        """No agent is still in role ``0`` or ``X``.
+
+        Once this holds, no new leader candidates can ever be created (rule
+        (1a) is the only source of ``L`` agents), so "exactly one alive
+        candidate" is a stable certificate of successful election.
+        """
+        for sid, count in engine.state_count_items():
+            if count == 0:
+                continue
+            state = engine.encoder.decode(sid)
+            if state.role in (Role.ZERO, Role.X):
+                return False
+        return True
+
+    def convergence(self) -> SingleLeader:
+        """The convergence predicate used for this protocol's experiments."""
+        return SingleLeader(
+            extra_condition=self.no_uninitialised_agents,
+            description=(
+                "exactly one alive leader candidate and no uninitialised agents"
+            ),
+        )

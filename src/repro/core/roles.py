@@ -1,0 +1,71 @@
+"""Initialisation epoch: symmetry breaking and role assignment (Section 4).
+
+The whole population starts in the common state ``0``.  Two symmetry-breaking
+rules (rule (1) in the paper) partition the agents into the three working
+sub-populations::
+
+    0 + 0 → X + L          (responder 0 meets initiator 0)
+    X + X → C + I          (responder X meets initiator X)
+
+so that, up to lower-order terms, half of the agents become leader
+candidates ``L``, a quarter become coins ``C`` and a quarter become
+inhibitors ``I``.  Rule (2) cleans up the stragglers: an agent still in
+state ``0`` or ``X`` when its clock first passes through 0 (the end of the
+first round) deactivates itself (``D``) and thereafter only relays the
+clock.  Lemma 4.1 shows only ``O(n / log n)`` agents are lost this way.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.context import InteractionContext
+from repro.core.params import GSUParams
+from repro.core.state import (
+    GSUAgentState,
+    coin_state,
+    deactivated_state,
+    inhibitor_state,
+    intermediate_state,
+    leader_state,
+)
+from repro.types import Role
+
+__all__ = ["apply_initialisation"]
+
+
+def apply_initialisation(
+    responder: GSUAgentState,
+    initiator: GSUAgentState,
+    ctx: InteractionContext,
+    params: GSUParams,
+) -> Tuple[GSUAgentState, GSUAgentState]:
+    """Apply the role-assignment rules (1) and the deactivation rule (2).
+
+    The responder's clock phase has already been advanced by the caller; the
+    initiator keeps its phase (only the responder updates its clock in an
+    interaction).
+    """
+    # Rule (2): deactivation at the end of the first round takes precedence —
+    # an agent that reaches a pass through 0 while still uninitialised is lost.
+    if ctx.passed_zero and responder.role in (Role.ZERO, Role.X):
+        return deactivated_state(phase=responder.phase), initiator
+
+    # Rule (1a): 0 + 0 → X + L.  Both agents change: the responder enters the
+    # intermediate state, the initiator becomes a leader candidate with the
+    # initial round counter 2Φ+3.
+    if responder.role == Role.ZERO and initiator.role == Role.ZERO:
+        new_responder = intermediate_state(phase=responder.phase)
+        new_initiator = leader_state(
+            phase=initiator.phase, cnt=params.initial_cnt
+        )
+        return new_responder, new_initiator
+
+    # Rule (1b): X + X → C + I.  The responder becomes a level-0 advancing
+    # coin, the initiator a drag-0 advancing low inhibitor.
+    if responder.role == Role.X and initiator.role == Role.X:
+        new_responder = coin_state(phase=responder.phase)
+        new_initiator = inhibitor_state(phase=initiator.phase)
+        return new_responder, new_initiator
+
+    return responder, initiator

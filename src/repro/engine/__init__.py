@@ -1,0 +1,80 @@
+"""Simulation substrate for population protocols.
+
+This sub-package implements the probabilistic population-protocol model of
+Angluin et al. (PODC 2004) used throughout the paper: at every discrete step a
+*random scheduler* selects an ordered pair of distinct agents uniformly at
+random, the first acting as **responder** and the second as **initiator**,
+and both agents update their states according to the protocol's deterministic
+transition function.
+
+Three engines are provided:
+
+* :class:`~repro.engine.engine.SequentialEngine` — the reference engine.  It
+  keeps one integer-encoded state per agent and memoises the deterministic
+  transition function, so each interaction is a couple of list look-ups.  It
+  simulates the model *exactly*.
+* :class:`~repro.engine.count_engine.CountEngine` — also exact, but keeps only
+  the multiset of states (counts).  Preferable when the number of distinct
+  states is small and the population is large.
+* :class:`~repro.engine.batch_engine.BatchEngine` — an *approximate* engine
+  that applies many interactions per batch by multinomial sampling while
+  holding counts fixed within the batch.  Useful for quick exploration only;
+  it is never used for correctness claims.
+
+The :mod:`repro.engine.simulation` module layers run management (convergence
+predicates, interaction budgets, recorders, result objects) on top of the
+engines, and :mod:`repro.engine.parallel` adds multi-seed sweep drivers.
+"""
+
+from __future__ import annotations
+
+from repro.engine.protocol import PopulationProtocol, ProtocolSpec
+from repro.engine.state import StateEncoder
+from repro.engine.rng import make_rng, spawn_seeds
+from repro.engine.scheduler import PairSampler
+from repro.engine.engine import SequentialEngine
+from repro.engine.count_engine import CountEngine
+from repro.engine.batch_engine import BatchEngine
+from repro.engine.convergence import (
+    ConvergencePredicate,
+    NeverConverge,
+    AllAgentsSatisfy,
+    OutputCountCondition,
+    SingleLeader,
+    StableOutputs,
+)
+from repro.engine.recorder import (
+    Recorder,
+    SnapshotRecorder,
+    MetricRecorder,
+    OutputCountRecorder,
+)
+from repro.engine.simulation import RunResult, Simulation, run_protocol
+from repro.engine.parallel import run_many, SweepPoint
+
+__all__ = [
+    "PopulationProtocol",
+    "ProtocolSpec",
+    "StateEncoder",
+    "make_rng",
+    "spawn_seeds",
+    "PairSampler",
+    "SequentialEngine",
+    "CountEngine",
+    "BatchEngine",
+    "ConvergencePredicate",
+    "NeverConverge",
+    "AllAgentsSatisfy",
+    "OutputCountCondition",
+    "SingleLeader",
+    "StableOutputs",
+    "Recorder",
+    "SnapshotRecorder",
+    "MetricRecorder",
+    "OutputCountRecorder",
+    "RunResult",
+    "Simulation",
+    "run_protocol",
+    "run_many",
+    "SweepPoint",
+]

@@ -1,0 +1,227 @@
+"""Shared machinery for the simulation engines.
+
+:class:`BaseEngine` factors out everything that does not depend on how the
+population is represented (per-agent array vs. state counts): transition
+memoisation, output-symbol memoisation, count bookkeeping helpers, the
+``run``/``run_until`` drivers, and convergence-friendly accessors.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import RngLike
+from repro.engine.state import StateEncoder
+from repro.errors import ConfigurationError, TransitionError
+from repro.types import State
+
+__all__ = ["BaseEngine"]
+
+
+class BaseEngine(abc.ABC):
+    """Common interface and bookkeeping for population-protocol engines.
+
+    Concrete engines must implement :meth:`_perform_steps` (advance the
+    population by a number of interactions) and :meth:`state_count_items`
+    (iterate over ``(state_id, count)`` pairs with non-zero count).
+    """
+
+    #: Whether the engine simulates the sequential model exactly.  Approximate
+    #: engines (``BatchEngine``) set this to ``False`` and must never be used
+    #: for correctness claims.
+    exact: bool = True
+
+    def __init__(self, protocol: PopulationProtocol, n: int, rng: RngLike = None) -> None:
+        if n < 2:
+            raise ConfigurationError(f"population size must be >= 2, got {n}")
+        self.protocol = protocol
+        self.n = int(n)
+        self.encoder = StateEncoder()
+        self.interactions = 0
+        # Memoised deterministic transition on state identifiers.
+        self._transition_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        # Memoised output symbol per state identifier.
+        self._output_cache: List[str] = []
+        # Count of distinct states that have ever been occupied by an agent
+        # during this run -- the empirical space usage of the protocol.
+        self._ever_occupied: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Abstract representation-specific pieces
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _perform_steps(self, count: int) -> None:
+        """Advance the simulation by ``count`` interactions."""
+
+    @abc.abstractmethod
+    def state_count_items(self) -> List[Tuple[int, int]]:
+        """Return ``(state_id, count)`` pairs for states with count > 0."""
+
+    # ------------------------------------------------------------------
+    # Transition / output memoisation
+    # ------------------------------------------------------------------
+    def _encode_initial(self, state: State) -> int:
+        sid = self.encoder.encode(state)
+        self._ever_occupied.add(sid)
+        return sid
+
+    def _apply_transition(self, responder_id: int, initiator_id: int) -> Tuple[int, int]:
+        """Memoised transition on state identifiers."""
+        key = (responder_id, initiator_id)
+        cached = self._transition_cache.get(key)
+        if cached is not None:
+            return cached
+        responder = self.encoder.decode(responder_id)
+        initiator = self.encoder.decode(initiator_id)
+        try:
+            new_responder, new_initiator = self.protocol.transition(responder, initiator)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise TransitionError(responder, initiator, str(exc)) from exc
+        new_responder_id = self.encoder.encode(new_responder)
+        new_initiator_id = self.encoder.encode(new_initiator)
+        self._ever_occupied.add(new_responder_id)
+        self._ever_occupied.add(new_initiator_id)
+        result = (new_responder_id, new_initiator_id)
+        self._transition_cache[key] = result
+        return result
+
+    def output_of_id(self, sid: int) -> str:
+        """Output symbol of the state registered under ``sid`` (memoised)."""
+        cache = self._output_cache
+        while len(cache) < len(self.encoder):
+            cache.append(None)  # type: ignore[arg-type]
+        symbol = cache[sid]
+        if symbol is None:
+            symbol = self.protocol.output(self.encoder.decode(sid))
+            cache[sid] = symbol
+        return symbol
+
+    # ------------------------------------------------------------------
+    # Public inspection API
+    # ------------------------------------------------------------------
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the population size (the paper's time unit)."""
+        return self.interactions / self.n
+
+    def state_counts(self) -> Dict[State, int]:
+        """Current multiset of states as ``{state: count}`` (non-zero only)."""
+        return {
+            self.encoder.decode(sid): count for sid, count in self.state_count_items()
+        }
+
+    def count_of(self, state: State) -> int:
+        """Number of agents currently in ``state``."""
+        sid = self.encoder.try_encode(state)
+        if sid is None:
+            return 0
+        for candidate, count in self.state_count_items():
+            if candidate == sid:
+                return count
+        return 0
+
+    def count_where(self, predicate: Callable[[State], bool]) -> int:
+        """Number of agents whose state satisfies ``predicate``."""
+        total = 0
+        for sid, count in self.state_count_items():
+            if predicate(self.encoder.decode(sid)):
+                total += count
+        return total
+
+    def counts_by_output(self) -> Dict[str, int]:
+        """Aggregate current counts by output symbol."""
+        totals: Dict[str, int] = {}
+        for sid, count in self.state_count_items():
+            symbol = self.output_of_id(sid)
+            totals[symbol] = totals.get(symbol, 0) + count
+        return totals
+
+    def leader_count(self) -> int:
+        """Number of agents whose output symbol is the leader symbol."""
+        from repro.engine.protocol import LEADER_OUTPUT
+
+        return self.counts_by_output().get(LEADER_OUTPUT, 0)
+
+    def distinct_states(self) -> List[State]:
+        """States currently occupied by at least one agent."""
+        return [self.encoder.decode(sid) for sid, _ in self.state_count_items()]
+
+    @property
+    def states_ever_occupied(self) -> int:
+        """Number of distinct states occupied at any point of the run.
+
+        This is the empirical counterpart of the protocol's space complexity
+        (the paper's "number of states utilised by each agent").
+        """
+        return len(self._ever_occupied)
+
+    # ------------------------------------------------------------------
+    # Run drivers
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by exactly one interaction."""
+        self._perform_steps(1)
+
+    def run(self, interactions: int) -> None:
+        """Advance the simulation by ``interactions`` interactions."""
+        if interactions < 0:
+            raise ConfigurationError(
+                f"interaction count must be non-negative, got {interactions}"
+            )
+        self._perform_steps(int(interactions))
+
+    def run_parallel_time(self, units: float) -> None:
+        """Advance by ``units`` parallel-time units (``units * n`` interactions)."""
+        self.run(int(round(units * self.n)))
+
+    def run_until(
+        self,
+        predicate: Callable[["BaseEngine"], bool],
+        *,
+        max_interactions: int,
+        check_every: Optional[int] = None,
+        on_check: Optional[Callable[["BaseEngine"], None]] = None,
+    ) -> bool:
+        """Run until ``predicate(engine)`` holds or a budget is exhausted.
+
+        Parameters
+        ----------
+        predicate:
+            Convergence condition, evaluated every ``check_every`` interactions.
+        max_interactions:
+            Hard budget counted from the engine's *current* interaction count.
+        check_every:
+            Evaluation period; defaults to ``n`` (once per parallel-time unit).
+        on_check:
+            Optional observer invoked at every evaluation point (recorders).
+
+        Returns
+        -------
+        bool
+            ``True`` if the predicate held at some evaluation point.
+        """
+        if check_every is None:
+            check_every = self.n
+        if check_every <= 0:
+            raise ConfigurationError(f"check_every must be positive, got {check_every}")
+        deadline = self.interactions + int(max_interactions)
+        if on_check is not None:
+            on_check(self)
+        if predicate(self):
+            return True
+        while self.interactions < deadline:
+            chunk = min(check_every, deadline - self.interactions)
+            self._perform_steps(chunk)
+            if on_check is not None:
+                on_check(self)
+            if predicate(self):
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} protocol={self.protocol.name!r} n={self.n} "
+            f"interactions={self.interactions}>"
+        )

@@ -1,0 +1,128 @@
+"""Approximate batched engine (multinomial "tau-leaping" over interactions).
+
+:class:`BatchEngine` advances the configuration by a *batch* of interactions
+at once: holding the current counts fixed, the number of interactions
+involving each ordered pair of states is drawn from a multinomial
+distribution, and the corresponding transitions are applied in bulk.  Within
+a batch an agent may therefore effectively interact with its *pre-batch*
+state, which makes the engine approximate; the error is small when the batch
+is a small fraction of the population (the default batch is ``max(1,
+round(batch_fraction * n))`` with ``batch_fraction = 0.05``).
+
+This engine is intended for quick exploration and for the engine-ablation
+benchmark only.  Every correctness claim in the test-suite and every number
+recorded in ``EXPERIMENTS.md`` uses one of the exact engines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.base import BaseEngine
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import RngLike, make_rng
+from repro.errors import ConfigurationError
+
+__all__ = ["BatchEngine"]
+
+
+class BatchEngine(BaseEngine):
+    """Approximate multinomial batching over state counts."""
+
+    exact = False
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        n: int,
+        rng: RngLike = None,
+        *,
+        batch_fraction: float = 0.05,
+    ) -> None:
+        super().__init__(protocol, n, rng)
+        if not 0 < batch_fraction <= 1:
+            raise ConfigurationError(
+                f"batch_fraction must lie in (0, 1], got {batch_fraction}"
+            )
+        self._rng = make_rng(rng)
+        self.batch_size = max(1, int(round(batch_fraction * n)))
+        configuration = protocol.initial_configuration(n)
+        protocol.validate_configuration(configuration, n)
+        self._counts: List[int] = []
+        for state in configuration:
+            sid = self._encode_initial(state)
+            self._grow_counts()
+            self._counts[sid] += 1
+
+    # ------------------------------------------------------------------
+    def _grow_counts(self) -> None:
+        missing = len(self.encoder) - len(self._counts)
+        if missing > 0:
+            self._counts.extend([0] * missing)
+
+    def _pair_probabilities(self, occupied: List[int]) -> np.ndarray:
+        """Probability of each ordered pair of occupied states."""
+        counts = np.array([self._counts[sid] for sid in occupied], dtype=np.float64)
+        n = float(self.n)
+        # P(responder=a, initiator=b) = c_a (c_b - [a==b]) / (n (n-1))
+        outer = np.outer(counts, counts)
+        np.fill_diagonal(outer, counts * (counts - 1.0))
+        probabilities = outer / (n * (n - 1.0))
+        total = probabilities.sum()
+        if total <= 0:  # pragma: no cover - defensive (n >= 2 guarantees mass)
+            raise ConfigurationError("degenerate configuration: no valid pairs")
+        return probabilities / total
+
+    def _run_batch(self, batch: int) -> None:
+        occupied = [sid for sid, count in enumerate(self._counts) if count > 0]
+        probabilities = self._pair_probabilities(occupied)
+        draws = self._rng.multinomial(batch, probabilities.ravel())
+        draws = draws.reshape(probabilities.shape)
+        for row, responder_sid in enumerate(occupied):
+            for col, initiator_sid in enumerate(occupied):
+                multiplicity = int(draws[row, col])
+                if multiplicity == 0:
+                    continue
+                new_responder, new_initiator = self._apply_transition(
+                    responder_sid, initiator_sid
+                )
+                self._grow_counts()
+                counts = self._counts
+                if new_responder != responder_sid:
+                    counts[responder_sid] -= multiplicity
+                    counts[new_responder] += multiplicity
+                if new_initiator != initiator_sid:
+                    counts[initiator_sid] -= multiplicity
+                    counts[new_initiator] += multiplicity
+        # Bulk updates can transiently push a count negative when the batch
+        # consumed more agents of a state than existed (the approximation
+        # error).  Clamp and renormalise deterministically so the population
+        # size is preserved.
+        self._repair_counts()
+        self.interactions += batch
+
+    def _repair_counts(self) -> None:
+        counts = self._counts
+        negative = 0
+        for sid, count in enumerate(counts):
+            if count < 0:
+                negative += -count
+                counts[sid] = 0
+        if negative:
+            # Remove the surplus from the largest counts, one unit at a time.
+            for _ in range(negative):
+                largest = max(range(len(counts)), key=counts.__getitem__)
+                counts[largest] -= 1
+
+    def _perform_steps(self, count: int) -> None:
+        remaining = count
+        while remaining > 0:
+            batch = min(self.batch_size, remaining)
+            self._run_batch(batch)
+            remaining -= batch
+
+    # ------------------------------------------------------------------
+    def state_count_items(self) -> List[Tuple[int, int]]:
+        return [(sid, count) for sid, count in enumerate(self._counts) if count > 0]

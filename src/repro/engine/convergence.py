@@ -1,0 +1,143 @@
+"""Convergence predicates.
+
+Population protocols *stabilise* rather than terminate: a run has converged
+when the output of every agent can no longer change.  True stabilisation is
+undecidable to observe from a single configuration in general, so the library
+provides a small vocabulary of practically useful predicates:
+
+* :class:`SingleLeader` — exactly one agent maps to the leader output, plus an
+  optional protocol-specific "no more leaders can be created" side condition.
+  For the protocols in this library this is equivalent to stabilisation
+  because the set of leader-output agents can only shrink once the side
+  condition holds.
+* :class:`AllAgentsSatisfy` — every agent's state satisfies a predicate.
+* :class:`OutputCountCondition` — an arbitrary condition on the map
+  ``{output symbol: count}``.
+* :class:`StableOutputs` — the output counts have not changed for a given
+  number of consecutive checks (a pragmatic stand-in for stabilisation in
+  protocols without a structural certificate).
+* :class:`NeverConverge` — run to the interaction budget (for fixed-horizon
+  measurements).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.engine.base import BaseEngine
+from repro.engine.protocol import LEADER_OUTPUT
+from repro.types import State
+
+__all__ = [
+    "ConvergencePredicate",
+    "NeverConverge",
+    "AllAgentsSatisfy",
+    "OutputCountCondition",
+    "SingleLeader",
+    "StableOutputs",
+]
+
+
+class ConvergencePredicate:
+    """Base class: a callable ``engine -> bool`` with a readable description."""
+
+    description: str = "unspecified condition"
+
+    def __call__(self, engine: BaseEngine) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any internal memory (stateful predicates override this)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}: {self.description}>"
+
+
+class NeverConverge(ConvergencePredicate):
+    """Always ``False`` — run until the interaction budget is spent."""
+
+    description = "never (fixed budget run)"
+
+    def __call__(self, engine: BaseEngine) -> bool:
+        return False
+
+
+class AllAgentsSatisfy(ConvergencePredicate):
+    """Every occupied state satisfies ``predicate``."""
+
+    def __init__(self, predicate: Callable[[State], bool], description: str = "") -> None:
+        self.predicate = predicate
+        self.description = description or "all agents satisfy predicate"
+
+    def __call__(self, engine: BaseEngine) -> bool:
+        for sid, count in engine.state_count_items():
+            if count and not self.predicate(engine.encoder.decode(sid)):
+                return False
+        return True
+
+
+class OutputCountCondition(ConvergencePredicate):
+    """A condition evaluated on the ``{output symbol: count}`` dictionary."""
+
+    def __init__(
+        self, condition: Callable[[Dict[str, int]], bool], description: str = ""
+    ) -> None:
+        self.condition = condition
+        self.description = description or "output-count condition"
+
+    def __call__(self, engine: BaseEngine) -> bool:
+        return bool(self.condition(engine.counts_by_output()))
+
+
+class SingleLeader(ConvergencePredicate):
+    """Exactly one agent maps to the leader output.
+
+    Parameters
+    ----------
+    extra_condition:
+        Optional additional engine-level condition that certifies no new
+        leader-output agents can appear (e.g. "no agent is still in the
+        pre-initialisation role" for the GSU19 protocol).  When provided, the
+        predicate requires both.
+    """
+
+    def __init__(
+        self,
+        extra_condition: Optional[Callable[[BaseEngine], bool]] = None,
+        description: str = "",
+    ) -> None:
+        self.extra_condition = extra_condition
+        self.description = description or "exactly one leader-output agent"
+
+    def __call__(self, engine: BaseEngine) -> bool:
+        leaders = engine.counts_by_output().get(LEADER_OUTPUT, 0)
+        if leaders != 1:
+            return False
+        if self.extra_condition is not None and not self.extra_condition(engine):
+            return False
+        return True
+
+
+class StableOutputs(ConvergencePredicate):
+    """Output counts unchanged for ``patience`` consecutive checks."""
+
+    def __init__(self, patience: int = 5) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.patience = patience
+        self.description = f"output counts stable for {patience} checks"
+        self._last: Optional[Dict[str, int]] = None
+        self._streak = 0
+
+    def reset(self) -> None:
+        self._last = None
+        self._streak = 0
+
+    def __call__(self, engine: BaseEngine) -> bool:
+        current = engine.counts_by_output()
+        if current == self._last:
+            self._streak += 1
+        else:
+            self._streak = 0
+            self._last = current
+        return self._streak >= self.patience

@@ -1,0 +1,115 @@
+"""Exact count-based (configuration-level) sequential engine.
+
+Because agents are anonymous, the multiset of states is a sufficient
+statistic for a population protocol: the dynamics depend on the
+configuration only through state counts.  :class:`CountEngine` exploits this
+and stores only the counts, sampling at every step
+
+* the responder's state with probability proportional to its count, and
+* the initiator's state with probability proportional to its count after
+  removing the responder,
+
+which reproduces the uniform choice of an ordered pair of distinct agents
+exactly.  The per-step cost is ``O(k)`` where ``k`` is the number of distinct
+occupied states, so this engine shines when the state space is small (the
+classic 2-4 state protocols) and the population is large.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.base import BaseEngine
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import RngLike, make_rng
+
+__all__ = ["CountEngine"]
+
+#: Number of uniform random deviates pre-drawn per NumPy call.
+_UNIFORM_BLOCK = 1 << 14
+
+
+class CountEngine(BaseEngine):
+    """Exact simulation over state counts (no per-agent array)."""
+
+    exact = True
+
+    def __init__(self, protocol: PopulationProtocol, n: int, rng: RngLike = None) -> None:
+        super().__init__(protocol, n, rng)
+        self._rng = make_rng(rng)
+        canonical = protocol.canonical_states()
+        if canonical is not None:
+            for state in canonical:
+                self.encoder.encode(state)
+        configuration = protocol.initial_configuration(n)
+        protocol.validate_configuration(configuration, n)
+        self._counts: List[int] = [0] * len(self.encoder)
+        for state in configuration:
+            sid = self._encode_initial(state)
+            self._grow_counts()
+            self._counts[sid] += 1
+        self._uniforms = np.empty(0)
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def _grow_counts(self) -> None:
+        missing = len(self.encoder) - len(self._counts)
+        if missing > 0:
+            self._counts.extend([0] * missing)
+
+    def _next_uniform(self) -> float:
+        if self._cursor >= self._uniforms.shape[0]:
+            self._uniforms = self._rng.random(_UNIFORM_BLOCK)
+            self._cursor = 0
+        value = float(self._uniforms[self._cursor])
+        self._cursor += 1
+        return value
+
+    def _sample_state(self, total: int, exclude: int = -1) -> int:
+        """Sample a state id proportionally to counts.
+
+        ``exclude`` removes one agent of that state from the pool, which is
+        how the second member of the ordered pair is drawn without
+        replacement.
+        """
+        target = self._next_uniform() * total
+        acc = 0.0
+        counts = self._counts
+        last_nonzero = -1
+        for sid, count in enumerate(counts):
+            if count == 0:
+                continue
+            effective = count - 1 if sid == exclude else count
+            if effective <= 0:
+                continue
+            last_nonzero = sid
+            acc += effective
+            if target < acc:
+                return sid
+        # Floating point slack: fall back to the last state with mass.
+        return last_nonzero
+
+    def _perform_steps(self, count: int) -> None:
+        counts = self._counts
+        n = self.n
+        for _ in range(count):
+            responder_id = self._sample_state(n)
+            initiator_id = self._sample_state(n - 1, exclude=responder_id)
+            new_responder_id, new_initiator_id = self._apply_transition(
+                responder_id, initiator_id
+            )
+            self._grow_counts()
+            counts = self._counts
+            if new_responder_id != responder_id:
+                counts[responder_id] -= 1
+                counts[new_responder_id] += 1
+            if new_initiator_id != initiator_id:
+                counts[initiator_id] -= 1
+                counts[new_initiator_id] += 1
+            self.interactions += 1
+
+    # ------------------------------------------------------------------
+    def state_count_items(self) -> List[Tuple[int, int]]:
+        return [(sid, count) for sid, count in enumerate(self._counts) if count > 0]

@@ -1,0 +1,139 @@
+"""Multi-seed / multi-size sweep drivers.
+
+Experiments repeat each configuration across many seeds and several
+population sizes.  :func:`run_many` executes such a sweep either serially or
+on a process pool.  Protocol *factories* (rather than protocol instances) are
+passed around so that each worker builds its own protocol — protocols carry
+parameter objects derived from ``n`` and are cheap to construct.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.convergence import ConvergencePredicate
+from repro.engine.rng import spawn_seeds
+from repro.engine.simulation import RunResult, run_protocol
+from repro.errors import ConfigurationError
+
+__all__ = ["SweepPoint", "run_many"]
+
+ProtocolFactory = Callable[[int], "PopulationProtocol"]  # noqa: F821 - doc only
+ConvergenceFactory = Callable[[int], Optional[ConvergencePredicate]]
+
+
+@dataclass
+class SweepPoint:
+    """One (population size, seed) cell of a sweep and its result."""
+
+    n: int
+    seed: int
+    result: RunResult
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+def _run_single(
+    factory: ProtocolFactory,
+    n: int,
+    seed: int,
+    max_parallel_time: float,
+    convergence_factory: Optional[ConvergenceFactory],
+    run_kwargs: Dict[str, object],
+) -> SweepPoint:
+    protocol = factory(n)
+    convergence = convergence_factory(n) if convergence_factory is not None else None
+    result = run_protocol(
+        protocol,
+        n,
+        seed=seed,
+        max_parallel_time=max_parallel_time,
+        convergence=convergence,
+        **run_kwargs,
+    )
+    return SweepPoint(n=n, seed=seed, result=result)
+
+
+def run_many(
+    factory: ProtocolFactory,
+    ns: Sequence[int],
+    *,
+    repetitions: int = 5,
+    base_seed: int = 12345,
+    max_parallel_time: float = 1024.0,
+    convergence_factory: Optional[ConvergenceFactory] = None,
+    workers: Optional[int] = None,
+    **run_kwargs: object,
+) -> List[SweepPoint]:
+    """Run ``factory(n)`` for every ``n`` and ``repetitions`` seeds each.
+
+    Parameters
+    ----------
+    factory:
+        Callable building a protocol for a given population size.
+    ns:
+        Population sizes to sweep.
+    repetitions:
+        Number of independent seeds per population size.
+    base_seed:
+        Top-level seed; per-run seeds are spawned deterministically from it.
+    max_parallel_time:
+        Per-run parallel-time budget.
+    convergence_factory:
+        Optional callable building the convergence predicate for a given
+        population size (defaults to the standard single-leader predicate).
+    workers:
+        ``None`` or ``0``/``1`` runs serially; larger values use a process
+        pool with that many workers.  Serial execution is the default because
+        individual runs are already long relative to scheduling overhead and
+        serial mode keeps tracebacks simple.
+    run_kwargs:
+        Forwarded to :func:`repro.engine.simulation.run_protocol`.
+
+    Returns
+    -------
+    list of :class:`SweepPoint`, ordered by (n, repetition).
+    """
+    ns = [int(n) for n in ns]
+    if not ns:
+        raise ConfigurationError("sweep requires at least one population size")
+    if repetitions < 1:
+        raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    seeds = spawn_seeds(base_seed, len(ns) * repetitions)
+    jobs = []
+    cursor = 0
+    for n in ns:
+        for _ in range(repetitions):
+            jobs.append((n, seeds[cursor]))
+            cursor += 1
+
+    if workers is None:
+        workers = 0
+    if workers <= 1:
+        return [
+            _run_single(
+                factory, n, seed, max_parallel_time, convergence_factory, dict(run_kwargs)
+            )
+            for n, seed in jobs
+        ]
+
+    max_workers = min(workers, os.cpu_count() or 1)
+    points: List[SweepPoint] = []
+    with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        futures = [
+            executor.submit(
+                _run_single,
+                factory,
+                n,
+                seed,
+                max_parallel_time,
+                convergence_factory,
+                dict(run_kwargs),
+            )
+            for n, seed in jobs
+        ]
+        for future in futures:
+            points.append(future.result())
+    return points

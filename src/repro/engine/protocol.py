@@ -1,0 +1,164 @@
+"""Abstract definition of a population protocol.
+
+A population protocol is described by
+
+* a (possibly infinite, lazily discovered) set of agent states,
+* an initial configuration — here produced by :meth:`PopulationProtocol.initial_state`
+  (all agents identical, as in the paper) or
+  :meth:`PopulationProtocol.initial_configuration` for heterogeneous starts,
+* a deterministic transition function ``δ(responder, initiator) →
+  (responder', initiator')``,
+* an output function mapping each state to an output symbol (for leader
+  election: ``"L"`` or ``"F"``).
+
+The ordering convention follows the paper: *"each interaction refers to an
+ordered pair of agents (responder, initiator)"* and the transition rules are
+written ``responder + initiator → responder' + initiator'`` — the responder
+is the agent listed first and is typically the one updated.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.types import State, TransitionResult
+
+__all__ = ["PopulationProtocol", "ProtocolSpec", "LEADER_OUTPUT", "FOLLOWER_OUTPUT"]
+
+#: Conventional output symbol for "this agent currently maps to the leader".
+LEADER_OUTPUT = "L"
+#: Conventional output symbol for "this agent currently maps to a follower".
+FOLLOWER_OUTPUT = "F"
+
+
+class PopulationProtocol(abc.ABC):
+    """Base class for population protocols.
+
+    Sub-classes must implement :meth:`initial_state`, :meth:`transition` and
+    :meth:`output`.  Transition functions **must be deterministic**: all
+    randomness in the model comes from the scheduler.  Engines rely on this to
+    memoise transitions.
+    """
+
+    #: Human readable protocol name (used in reports and experiment tables).
+    name: str = "population-protocol"
+
+    # ------------------------------------------------------------------
+    # Required interface
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def initial_state(self, n: int) -> State:
+        """Return the common initial state for a population of size ``n``.
+
+        Protocols that need a heterogeneous start should override
+        :meth:`initial_configuration` instead and may raise
+        :class:`NotImplementedError` here.
+        """
+
+    @abc.abstractmethod
+    def transition(self, responder: State, initiator: State) -> TransitionResult:
+        """Apply one interaction and return ``(responder', initiator')``.
+
+        The function must be pure and deterministic.
+        """
+
+    @abc.abstractmethod
+    def output(self, state: State) -> str:
+        """Map a state to its output symbol (e.g. ``"L"``/``"F"``)."""
+
+    # ------------------------------------------------------------------
+    # Optional interface
+    # ------------------------------------------------------------------
+    def initial_configuration(self, n: int) -> Sequence[State]:
+        """Return the full initial configuration (length ``n``).
+
+        The default replicates :meth:`initial_state` ``n`` times, matching the
+        paper's assumption that *"all n agents start in the same initial
+        state"*.
+        """
+        state = self.initial_state(n)
+        return [state] * n
+
+    def is_leader(self, state: State) -> bool:
+        """Whether ``state`` maps to the leader output."""
+        return self.output(state) == LEADER_OUTPUT
+
+    def canonical_states(self) -> Optional[Iterable[State]]:
+        """Optionally enumerate the full state space (used by count engines
+        to pre-register states); ``None`` means "discover lazily"."""
+        return None
+
+    def describe_state(self, state: State) -> str:
+        """Human readable rendering of a state (for traces and debugging)."""
+        return repr(state)
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    def validate_configuration(self, configuration: Sequence[State], n: int) -> None:
+        """Raise :class:`ProtocolError` if ``configuration`` is unusable."""
+        if len(configuration) != n:
+            raise ProtocolError(
+                f"initial configuration of protocol {self.name!r} has length "
+                f"{len(configuration)}, expected n={n}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+@dataclass
+class ProtocolSpec(PopulationProtocol):
+    """A population protocol assembled from plain callables.
+
+    This is a convenience wrapper used in tests, examples and quick
+    explorations, avoiding a class definition for tiny protocols::
+
+        two_state = ProtocolSpec(
+            name="slow-election",
+            initial="L",
+            rules=lambda r, i: ("F", "L") if r == "L" and i == "L" else (r, i),
+            outputs=lambda s: "L" if s == "L" else "F",
+        )
+    """
+
+    name: str = "adhoc-protocol"
+    initial: State = None
+    rules: Callable[[State, State], TransitionResult] = None  # type: ignore[assignment]
+    outputs: Callable[[State], str] = None  # type: ignore[assignment]
+    states: Optional[List[State]] = None
+    configuration_factory: Optional[Callable[[int], Sequence[State]]] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rules is None:
+            raise ProtocolError("ProtocolSpec requires a `rules` callable")
+        if self.outputs is None:
+            raise ProtocolError("ProtocolSpec requires an `outputs` callable")
+
+    def initial_state(self, n: int) -> State:
+        if self.configuration_factory is not None:
+            raise ProtocolError(
+                "this ProtocolSpec uses a configuration factory; call "
+                "initial_configuration instead"
+            )
+        return self.initial
+
+    def initial_configuration(self, n: int) -> Sequence[State]:
+        if self.configuration_factory is not None:
+            configuration = list(self.configuration_factory(n))
+            self.validate_configuration(configuration, n)
+            return configuration
+        return super().initial_configuration(n)
+
+    def transition(self, responder: State, initiator: State) -> TransitionResult:
+        return self.rules(responder, initiator)
+
+    def output(self, state: State) -> str:
+        return self.outputs(state)
+
+    def canonical_states(self) -> Optional[Iterable[State]]:
+        return self.states

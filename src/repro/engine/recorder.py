@@ -1,0 +1,111 @@
+"""Recorders: periodic observers of a running simulation.
+
+A recorder is an object with a ``record(engine)`` method; the
+:class:`repro.engine.simulation.Simulation` driver invokes every attached
+recorder at each convergence-check point (every ``check_every`` interactions).
+Recorders are how the experiment harness extracts time series such as "number
+of active leader candidates over time" or "coin level histogram at the end of
+every phase-clock round" without slowing down the engine's hot loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.base import BaseEngine
+from repro.types import State
+
+__all__ = [
+    "Recorder",
+    "SnapshotRecorder",
+    "MetricRecorder",
+    "OutputCountRecorder",
+]
+
+
+class Recorder:
+    """Base class for simulation observers."""
+
+    def record(self, engine: BaseEngine) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop any accumulated observations."""
+
+
+@dataclass
+class SnapshotRecorder(Recorder):
+    """Stores the full ``{state: count}`` dictionary at every check point.
+
+    ``max_snapshots`` bounds memory use; once reached, snapshots are thinned
+    by dropping every other stored snapshot (keeping the first and most
+    recent), which preserves coverage of the whole run.
+    """
+
+    max_snapshots: int = 4096
+    times: List[float] = field(default_factory=list)
+    snapshots: List[Dict[State, int]] = field(default_factory=list)
+
+    def record(self, engine: BaseEngine) -> None:
+        self.times.append(engine.parallel_time)
+        self.snapshots.append(engine.state_counts())
+        if len(self.snapshots) > self.max_snapshots:
+            self.times = self.times[::2]
+            self.snapshots = self.snapshots[::2]
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.snapshots.clear()
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+
+@dataclass
+class MetricRecorder(Recorder):
+    """Applies a scalar metric ``engine -> float`` at every check point."""
+
+    metric: Callable[[BaseEngine], float] = None  # type: ignore[assignment]
+    name: str = "metric"
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, engine: BaseEngine) -> None:
+        self.times.append(engine.parallel_time)
+        self.values.append(float(self.metric(engine)))
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.values.clear()
+
+    def series(self) -> List[tuple]:
+        """The recorded ``(parallel_time, value)`` pairs."""
+        return list(zip(self.times, self.values))
+
+    def last(self) -> Optional[float]:
+        """Most recent recorded value, or ``None`` when empty."""
+        return self.values[-1] if self.values else None
+
+
+@dataclass
+class OutputCountRecorder(Recorder):
+    """Records the per-output-symbol counts at every check point."""
+
+    times: List[float] = field(default_factory=list)
+    counts: List[Dict[str, int]] = field(default_factory=list)
+
+    def record(self, engine: BaseEngine) -> None:
+        self.times.append(engine.parallel_time)
+        self.counts.append(engine.counts_by_output())
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.counts.clear()
+
+    def series_for(self, symbol: str) -> List[tuple]:
+        """Time series of the count of one output symbol."""
+        return [
+            (time, counts.get(symbol, 0))
+            for time, counts in zip(self.times, self.counts)
+        ]

@@ -1,0 +1,217 @@
+"""High-level run management: budgets, convergence, recorders, results.
+
+:class:`Simulation` wires together an engine, a convergence predicate and a
+set of recorders, and produces a :class:`RunResult` — the unit of data the
+analysis and experiment layers operate on.  The convenience function
+:func:`run_protocol` covers the common "one protocol, one seed, run until a
+single leader or a parallel-time budget" case in a single call.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from repro.engine.base import BaseEngine
+from repro.engine.convergence import ConvergencePredicate, SingleLeader
+from repro.engine.engine import SequentialEngine
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.recorder import Recorder
+from repro.engine.rng import RngLike
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.types import State
+
+__all__ = ["RunResult", "Simulation", "run_protocol"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single simulation run.
+
+    Attributes
+    ----------
+    protocol_name:
+        Name of the simulated protocol.
+    n:
+        Population size.
+    seed:
+        Seed used for the run (``None`` when an external generator was given).
+    converged:
+        Whether the convergence predicate held before the budget expired.
+    interactions:
+        Interactions executed when the run stopped.
+    parallel_time:
+        ``interactions / n``.
+    states_used:
+        Number of distinct states occupied by at least one agent at any point
+        of the run (the empirical space usage).
+    final_counts:
+        ``{state: count}`` at the end of the run.
+    final_outputs:
+        ``{output symbol: count}`` at the end of the run.
+    wall_clock_seconds:
+        Real time spent simulating (for throughput reporting only).
+    metadata:
+        Free-form dictionary populated by callers (experiment parameters,
+        epoch markers, ...).
+    """
+
+    protocol_name: str
+    n: int
+    seed: Optional[int]
+    converged: bool
+    interactions: int
+    parallel_time: float
+    states_used: int
+    final_counts: Dict[State, int] = field(default_factory=dict)
+    final_outputs: Dict[str, int] = field(default_factory=dict)
+    wall_clock_seconds: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def leader_count(self) -> int:
+        """Number of agents with the leader output at the end of the run."""
+        from repro.engine.protocol import LEADER_OUTPUT
+
+        return self.final_outputs.get(LEADER_OUTPUT, 0)
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        status = "converged" if self.converged else "budget exhausted"
+        return (
+            f"{self.protocol_name}: n={self.n} {status} after "
+            f"{self.parallel_time:.1f} parallel time "
+            f"({self.interactions} interactions), "
+            f"{self.states_used} states used, leaders={self.leader_count}"
+        )
+
+
+class Simulation:
+    """Couples an engine with a convergence predicate and recorders."""
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        n: int,
+        *,
+        rng: RngLike = None,
+        engine_cls: Type[BaseEngine] = SequentialEngine,
+        engine_kwargs: Optional[dict] = None,
+        convergence: Optional[ConvergencePredicate] = None,
+        recorders: Optional[Sequence[Recorder]] = None,
+        check_every: Optional[int] = None,
+    ) -> None:
+        self.protocol = protocol
+        self.n = int(n)
+        self.seed = rng if isinstance(rng, int) else None
+        engine_kwargs = dict(engine_kwargs or {})
+        self.engine: BaseEngine = engine_cls(protocol, n, rng, **engine_kwargs)
+        self.convergence = convergence if convergence is not None else SingleLeader()
+        self.recorders: List[Recorder] = list(recorders or [])
+        self.check_every = check_every
+
+    # ------------------------------------------------------------------
+    def add_recorder(self, recorder: Recorder) -> Recorder:
+        """Attach a recorder and return it (for chaining)."""
+        self.recorders.append(recorder)
+        return recorder
+
+    def _notify_recorders(self, engine: BaseEngine) -> None:
+        for recorder in self.recorders:
+            recorder.record(engine)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_parallel_time: float,
+        raise_on_budget: bool = False,
+    ) -> RunResult:
+        """Run until convergence or until ``max_parallel_time`` is exhausted.
+
+        Parameters
+        ----------
+        max_parallel_time:
+            Interaction budget expressed in parallel-time units.
+        raise_on_budget:
+            When ``True`` a :class:`~repro.errors.ConvergenceError` is raised
+            if the budget runs out; otherwise a non-converged
+            :class:`RunResult` is returned.
+        """
+        if max_parallel_time <= 0:
+            raise ConfigurationError(
+                f"max_parallel_time must be positive, got {max_parallel_time}"
+            )
+        self.convergence.reset()
+        budget = int(round(max_parallel_time * self.n))
+        started = _time.perf_counter()
+        converged = self.engine.run_until(
+            self.convergence,
+            max_interactions=budget,
+            check_every=self.check_every,
+            on_check=self._notify_recorders if self.recorders else None,
+        )
+        elapsed = _time.perf_counter() - started
+        if not converged and raise_on_budget:
+            raise ConvergenceError(
+                self.engine.interactions,
+                f"protocol {self.protocol.name!r} with n={self.n} did not satisfy "
+                f"{self.convergence.description!r}",
+            )
+        return self.result(converged=converged, wall_clock_seconds=elapsed)
+
+    def result(self, *, converged: bool, wall_clock_seconds: float = 0.0) -> RunResult:
+        """Build a :class:`RunResult` from the engine's current state."""
+        engine = self.engine
+        return RunResult(
+            protocol_name=self.protocol.name,
+            n=self.n,
+            seed=self.seed,
+            converged=converged,
+            interactions=engine.interactions,
+            parallel_time=engine.parallel_time,
+            states_used=engine.states_ever_occupied,
+            final_counts=engine.state_counts(),
+            final_outputs=engine.counts_by_output(),
+            wall_clock_seconds=wall_clock_seconds,
+        )
+
+
+def run_protocol(
+    protocol: PopulationProtocol,
+    n: int,
+    *,
+    seed: RngLike = None,
+    max_parallel_time: float = 1024.0,
+    convergence: Optional[ConvergencePredicate] = None,
+    recorders: Optional[Sequence[Recorder]] = None,
+    engine_cls: Type[BaseEngine] = SequentialEngine,
+    engine_kwargs: Optional[dict] = None,
+    check_every: Optional[int] = None,
+    raise_on_budget: bool = False,
+) -> RunResult:
+    """Run ``protocol`` on ``n`` agents and return the :class:`RunResult`.
+
+    This is the main one-call entry point of the simulation substrate::
+
+        from repro.core import GSULeaderElection
+        from repro.engine import run_protocol
+
+        result = run_protocol(GSULeaderElection.for_population(1 << 10), 1 << 10,
+                              seed=1, max_parallel_time=2000)
+        assert result.leader_count == 1
+    """
+    simulation = Simulation(
+        protocol,
+        n,
+        rng=seed,
+        engine_cls=engine_cls,
+        engine_kwargs=engine_kwargs,
+        convergence=convergence,
+        recorders=recorders,
+        check_every=check_every,
+    )
+    return simulation.run(
+        max_parallel_time=max_parallel_time, raise_on_budget=raise_on_budget
+    )

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes partition errors into configuration problems, protocol
+definition problems, and simulation-time problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "TransitionError",
+    "SimulationError",
+    "ConvergenceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter object or experiment configuration is invalid.
+
+    Raised, for example, when a population size is non-positive, a phase
+    clock modulus is too small, or a sweep specification is empty.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is malformed.
+
+    Raised when a protocol's initial configuration does not match the
+    population size, when its output map rejects a reachable state, or when
+    a transition returns states of an unexpected type.
+    """
+
+
+class TransitionError(ProtocolError):
+    """A transition function misbehaved for a specific pair of states."""
+
+    def __init__(self, responder, initiator, message: str) -> None:
+        super().__init__(
+            f"transition failed for responder={responder!r}, "
+            f"initiator={initiator!r}: {message}"
+        )
+        self.responder = responder
+        self.initiator = initiator
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent internal state."""
+
+
+class ConvergenceError(SimulationError):
+    """A run exceeded its interaction budget without satisfying its
+    convergence predicate."""
+
+    def __init__(self, interactions: int, message: str = "") -> None:
+        text = f"no convergence after {interactions} interactions"
+        if message:
+            text = f"{text}: {message}"
+        super().__init__(text)
+        self.interactions = interactions
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed (unknown experiment id, bad output path,
+    inconsistent aggregation, ...)."""

@@ -1,0 +1,103 @@
+"""Experiment configuration.
+
+A single :class:`ExperimentConfig` object parameterises every experiment:
+which population sizes to sweep, how many independent seeds per size, the
+per-run parallel-time budget and the top-level seed.  Three presets cover
+the common uses:
+
+* :meth:`ExperimentConfig.smoke` — minutes-scale sanity run used by the test
+  suite and the pytest-benchmark targets,
+* :meth:`ExperimentConfig.default` — the configuration used to produce the
+  numbers recorded in ``EXPERIMENTS.md``,
+* :meth:`ExperimentConfig.large` — the heavier sweep for readers with more
+  patience (bigger ``n``, more seeds); invoked through the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sweep parameters shared by all experiments."""
+
+    #: Population sizes to sweep (each experiment may subset or cap them).
+    population_sizes: tuple = (256, 512, 1024, 2048)
+    #: Independent seeds per population size.
+    repetitions: int = 5
+    #: Top-level seed from which per-run seeds are spawned.
+    base_seed: int = 20190622
+    #: Per-run parallel-time budget (interactions / n).
+    max_parallel_time: float = 20000.0
+    #: Cap applied to population sizes for Θ(n)-time protocols so that the
+    #: slow baselines do not dominate the harness's wall-clock time.
+    slow_protocol_max_n: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.population_sizes:
+            raise ConfigurationError("population_sizes must not be empty")
+        if any(n < 8 for n in self.population_sizes):
+            raise ConfigurationError(
+                f"population sizes must be >= 8, got {self.population_sizes}"
+            )
+        if self.repetitions < 1:
+            raise ConfigurationError(
+                f"repetitions must be >= 1, got {self.repetitions}"
+            )
+        if self.max_parallel_time <= 0:
+            raise ConfigurationError(
+                f"max_parallel_time must be positive, got {self.max_parallel_time}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Tiny configuration for tests and benchmark smoke runs."""
+        return cls(
+            population_sizes=(128, 256),
+            repetitions=2,
+            max_parallel_time=6000.0,
+            slow_protocol_max_n=256,
+        )
+
+    @classmethod
+    def default(cls) -> "ExperimentConfig":
+        """The configuration behind the numbers in ``EXPERIMENTS.md``."""
+        return cls(
+            population_sizes=(256, 512, 1024, 2048, 4096),
+            repetitions=5,
+            max_parallel_time=20000.0,
+            slow_protocol_max_n=1024,
+        )
+
+    @classmethod
+    def large(cls) -> "ExperimentConfig":
+        """Heavier sweep (longer wall-clock; used via the CLI)."""
+        return cls(
+            population_sizes=(1024, 2048, 4096, 8192, 16384),
+            repetitions=10,
+            max_parallel_time=40000.0,
+            slow_protocol_max_n=2048,
+        )
+
+    # ------------------------------------------------------------------
+    def sizes_capped(self, maximum: int) -> List[int]:
+        """Population sizes not exceeding ``maximum`` (at least the smallest)."""
+        sizes = [n for n in self.population_sizes if n <= maximum]
+        if not sizes:
+            sizes = [min(self.population_sizes)]
+        return sizes
+
+    def with_sizes(self, sizes: Sequence[int]) -> "ExperimentConfig":
+        """Copy of the configuration with different population sizes."""
+        return replace(self, population_sizes=tuple(int(n) for n in sizes))
+
+    def with_repetitions(self, repetitions: int) -> "ExperimentConfig":
+        """Copy of the configuration with a different repetition count."""
+        return replace(self, repetitions=int(repetitions))

@@ -1,0 +1,133 @@
+"""Experiment ``figure1`` — coin sub-populations and their biases (Figure 1).
+
+Figure 1 of the paper sketches the idealised sizes of the coin level
+populations ``C_0 ≈ n/4, C_1 ≈ n/16, …, C_Φ ≈ n^{1-a}`` and the heads
+probabilities of the asymmetric coins they implement.  This experiment runs
+the full protocol just past its coin-preprocessing phase, censuses the coin
+levels, and compares:
+
+* the measured ``C_ℓ`` (coins at level ``≥ ℓ``) against the recursion
+  ``C_{ℓ+1} = C_ℓ²/n`` of Lemmas 5.1–5.2,
+* the measured junta size ``C_Φ`` against the ``[n^0.45, n^0.77]`` window of
+  Lemma 5.3,
+* the measured heads probability of each coin level (``C_ℓ/n``) against the
+  idealised value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.stats import summarize
+from repro.coins.analysis import coin_level_histogram, junta_bounds
+from repro.core.protocol import GSULeaderElection
+from repro.core.theory import predicted_level_counts
+from repro.engine.convergence import AllAgentsSatisfy
+from repro.engine.engine import SequentialEngine
+from repro.engine.rng import spawn_seeds
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, timed
+from repro.types import CoinMode, Role
+
+__all__ = ["run_figure1", "coin_census_after_preprocessing"]
+
+
+def _preprocessing_finished(state) -> bool:
+    """All agents have a role and no coin is still advancing its level."""
+    if state.role in (Role.ZERO, Role.X):
+        return False
+    if state.role == Role.COIN and state.coin_mode == CoinMode.ADVANCING:
+        return False
+    return True
+
+
+def coin_census_after_preprocessing(n: int, seed: int, *, max_parallel_time: float):
+    """Run the protocol until coin preprocessing has settled; return the census.
+
+    "Settled" means every agent has received its role (or deactivated) and no
+    coin can change its level any more, so the census is the protocol's final
+    coin stratification.
+    """
+    protocol = GSULeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=seed)
+    predicate = AllAgentsSatisfy(
+        _preprocessing_finished, "roles fixed and coin levels final"
+    )
+    engine.run_until(predicate, max_interactions=int(max_parallel_time * n))
+    observation = coin_level_histogram(engine, max_level=protocol.params.phi)
+    return protocol.params, observation
+
+
+def run_figure1(config: ExperimentConfig) -> ExperimentResult:
+    """Run the Figure 1 experiment under ``config``."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="figure1",
+            description=(
+                "Coin level populations C_l after preprocessing, their implied "
+                "heads probabilities, and the junta size versus the window of "
+                "Lemma 5.3."
+            ),
+        )
+        levels_table = result.add_table(
+            "coin levels",
+            [
+                "n",
+                "level",
+                "measured C_l (mean)",
+                "idealised C_l",
+                "measured heads prob",
+                "idealised heads prob",
+            ],
+        )
+        junta_table = result.add_table(
+            "junta size (Lemma 5.3)",
+            ["n", "junta size (mean)", "window low n^0.45", "window high n^0.77", "inside window"],
+        )
+
+        seeds = spawn_seeds(config.base_seed, len(config.population_sizes) * config.repetitions)
+        cursor = 0
+        for n in config.population_sizes:
+            per_level: Dict[int, List[int]] = {}
+            junta_sizes: List[int] = []
+            phi = None
+            for _ in range(config.repetitions):
+                params, observation = coin_census_after_preprocessing(
+                    n, seeds[cursor], max_parallel_time=config.max_parallel_time
+                )
+                cursor += 1
+                phi = params.phi
+                for level, count in enumerate(observation.at_least):
+                    per_level.setdefault(level, []).append(count)
+                junta_sizes.append(observation.junta_size)
+            idealised = predicted_level_counts(n, phi)
+            for level in sorted(per_level):
+                measured = summarize(per_level[level])
+                ideal = idealised[level] if level < len(idealised) else float("nan")
+                levels_table.add_row(
+                    n,
+                    level,
+                    f"{measured.mean:.1f}",
+                    f"{ideal:.1f}",
+                    f"{measured.mean / n:.4f}",
+                    f"{ideal / n:.4f}",
+                )
+            low, high = junta_bounds(n)
+            junta_summary = summarize(junta_sizes)
+            junta_table.add_row(
+                n,
+                f"{junta_summary.mean:.1f}",
+                f"{low:.1f}",
+                f"{high:.1f}",
+                "yes" if low <= junta_summary.mean <= high else "NO",
+            )
+        result.metadata.update(
+            {
+                "population_sizes": list(config.population_sizes),
+                "repetitions": config.repetitions,
+            }
+        )
+        return result
+
+    return timed(_run)

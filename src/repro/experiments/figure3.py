@@ -1,0 +1,133 @@
+"""Experiment ``figure3`` — the slowing-down drag counter (Figure 3).
+
+Figure 3 of the paper illustrates the drag-counter mechanism: an active
+leader of drag ``i`` elevates the drag-``i`` inhibitor sub-group, whose
+one-way epidemic takes ``≈ 4^i n log n`` interactions, after which the
+leader advances to drag ``i+1``.  This experiment runs the full protocol
+with a :class:`~repro.core.monitor.DragTickTracker` attached and reports:
+
+* the measured parallel time ``T_ℓ`` between the first appearances of drag
+  ``ℓ`` and drag ``ℓ+1`` among leaders, against the predicted geometric
+  growth ``T_ℓ ∝ 4^ℓ`` (Lemma 7.2);
+* the measured inhibitor sub-group sizes ``D_ℓ`` against the prediction
+  ``(n/4)·4^{-ℓ}`` of Lemma 7.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.analysis.stats import summarize
+from repro.core.monitor import DragTickTracker, inhibitor_drag_census
+from repro.core.protocol import GSULeaderElection
+from repro.core.theory import predicted_drag_group_sizes
+from repro.engine.engine import SequentialEngine
+from repro.engine.rng import spawn_seeds
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, convergence_for, timed
+from repro.engine.simulation import run_protocol
+
+__all__ = ["run_figure3", "measure_inhibitor_groups"]
+
+
+def measure_inhibitor_groups(n: int, seed: int, *, parallel_time: float = 200.0) -> Dict[int, int]:
+    """Run the protocol long enough for inhibitor preprocessing to settle and
+    return the drag census (Lemma 7.1's ``D_ℓ``)."""
+    protocol = GSULeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=seed)
+    engine.run_parallel_time(parallel_time)
+    return inhibitor_drag_census(engine)
+
+
+def run_figure3(config: ExperimentConfig) -> ExperimentResult:
+    """Run the Figure 3 experiment under ``config``."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="figure3",
+            description=(
+                "Drag-counter tick intervals T_l (parallel time between the first "
+                "appearance of consecutive drag values among leaders) versus the "
+                "predicted 4^l growth, and inhibitor drag-group sizes versus "
+                "Lemma 7.1."
+            ),
+        )
+        ticks_table = result.add_table(
+            "drag tick intervals (Lemma 7.2)",
+            [
+                "n",
+                "drag l",
+                "measured T_l (mean parallel time)",
+                "T_l / T_0 (measured)",
+                "4^l (predicted ratio)",
+                "samples",
+            ],
+        )
+        groups_table = result.add_table(
+            "inhibitor drag groups (Lemma 7.1)",
+            ["n", "drag l", "measured D_l (mean)", "predicted D_l"],
+        )
+
+        seeds = spawn_seeds(config.base_seed + 3, len(config.population_sizes) * config.repetitions)
+        cursor = 0
+        for n in config.population_sizes:
+            tick_samples: Dict[int, List[float]] = {}
+            group_samples: Dict[int, List[int]] = {}
+            psi = None
+            for _ in range(config.repetitions):
+                seed = seeds[cursor]
+                cursor += 1
+                protocol = GSULeaderElection.for_population(n)
+                psi = protocol.params.psi
+                tracker = DragTickTracker()
+                run_protocol(
+                    protocol,
+                    n,
+                    seed=seed,
+                    max_parallel_time=config.max_parallel_time,
+                    convergence=convergence_for(protocol),
+                    recorders=[tracker],
+                    check_every=max(1, n // 2),
+                )
+                for level, interval in tracker.tick_intervals().items():
+                    tick_samples.setdefault(level, []).append(interval)
+                for level, count in measure_inhibitor_groups(
+                    n, seed + 1, parallel_time=min(200.0, config.max_parallel_time)
+                ).items():
+                    group_samples.setdefault(level, []).append(count)
+
+            baseline = None
+            for level in sorted(tick_samples):
+                measured = summarize(tick_samples[level])
+                if baseline is None and measured.mean > 0:
+                    baseline = measured.mean
+                ratio = measured.mean / baseline if baseline else float("nan")
+                ticks_table.add_row(
+                    n,
+                    level,
+                    f"{measured.mean:.1f}",
+                    f"{ratio:.2f}",
+                    f"{4.0 ** level:.0f}",
+                    measured.count,
+                )
+            predicted_groups = predicted_drag_group_sizes(n, psi or 2)
+            for level in sorted(group_samples):
+                measured = summarize(group_samples[level])
+                predicted = (
+                    predicted_groups[level]
+                    if level < len(predicted_groups)
+                    else float("nan")
+                )
+                groups_table.add_row(
+                    n, level, f"{measured.mean:.1f}", f"{predicted:.1f}"
+                )
+        result.metadata.update(
+            {
+                "population_sizes": list(config.population_sizes),
+                "repetitions": config.repetitions,
+            }
+        )
+        return result
+
+    return timed(_run)

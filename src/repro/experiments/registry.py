@@ -1,0 +1,61 @@
+"""Registry mapping experiment identifiers to their runners.
+
+The CLI, the benchmarks and the documentation all refer to experiments by
+the identifiers in DESIGN.md (``table1``, ``figure1`` …); this module is the
+single source of truth for that mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.lemmas import (
+    run_clock,
+    run_lemma41,
+    run_lemma53,
+    run_lemma71,
+    run_lemma73,
+)
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.table1 import run_table1
+
+__all__ = ["available_experiments", "get_experiment", "run_experiment"]
+
+ExperimentRunner = Callable[[ExperimentConfig], ExperimentResult]
+
+_REGISTRY: Dict[str, ExperimentRunner] = {
+    "table1": run_table1,
+    "figure1": run_figure1,
+    "figure2": run_figure2,
+    "figure3": run_figure3,
+    "lemma41": run_lemma41,
+    "lemma53": run_lemma53,
+    "lemma71": run_lemma71,
+    "lemma73": run_lemma73,
+    "clock": run_clock,
+}
+
+
+def available_experiments() -> List[str]:
+    """Identifiers of all registered experiments."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentRunner:
+    """Look up an experiment runner by identifier."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> ExperimentResult:
+    """Run one experiment by identifier."""
+    return get_experiment(name)(config)

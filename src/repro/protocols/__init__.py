@@ -1,0 +1,42 @@
+"""Baseline and classic population protocols.
+
+These protocols serve three purposes in the reproduction:
+
+* **Comparators for Table 1** — the constant-space protocol of Angluin et al.
+  (:class:`SlowLeaderElection`), a simple ``O(log n)``-state lottery protocol
+  (:class:`LotteryLeaderElection`) and a GS18-style ``O(log² n)``-time
+  protocol (:class:`GS18LeaderElection`) are simulated alongside the paper's
+  protocol so the time/space trade-off of Table 1 can be measured rather
+  than only cited.
+* **Engine validation** — the 3-state approximate-majority and 4-state exact
+  majority protocols and the one-way epidemic have well-known behaviour
+  (convergence times, correctness conditions) against which the simulation
+  substrate is tested.
+* **Building blocks** — the standalone junta-election protocol exposes the
+  coin-level machinery outside the full GSU19 protocol for the Figure 1
+  experiments.
+"""
+
+from repro.protocols.leader_election_base import (
+    candidate_count,
+    single_candidate_convergence,
+)
+from repro.protocols.slow import SlowLeaderElection
+from repro.protocols.lottery import LotteryLeaderElection
+from repro.protocols.gs18 import GS18LeaderElection
+from repro.protocols.approximate_majority import ApproximateMajority
+from repro.protocols.exact_majority import ExactMajority
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.junta_standalone import JuntaElection
+
+__all__ = [
+    "candidate_count",
+    "single_candidate_convergence",
+    "SlowLeaderElection",
+    "LotteryLeaderElection",
+    "GS18LeaderElection",
+    "ApproximateMajority",
+    "ExactMajority",
+    "OneWayEpidemic",
+    "JuntaElection",
+]

@@ -1,0 +1,40 @@
+"""Shared helpers for leader-election protocols.
+
+Every leader-election protocol in this library maps some of its states to
+the leader output ``"L"``; these helpers express common measurement and
+convergence idioms against that convention so experiments can treat all
+protocols uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.base import BaseEngine
+from repro.engine.convergence import SingleLeader
+from repro.engine.protocol import LEADER_OUTPUT, PopulationProtocol
+from repro.types import State
+
+__all__ = ["candidate_count", "single_candidate_convergence"]
+
+
+def candidate_count(engine: BaseEngine) -> int:
+    """Number of agents currently mapped to the leader output."""
+    return engine.counts_by_output().get(LEADER_OUTPUT, 0)
+
+
+def single_candidate_convergence(
+    protocol: PopulationProtocol,
+    extra_condition: Optional[Callable[[BaseEngine], bool]] = None,
+) -> SingleLeader:
+    """A :class:`SingleLeader` predicate labelled with the protocol's name.
+
+    Protocols that expose their own ``convergence()`` method (like
+    :class:`repro.core.GSULeaderElection`) should be preferred; this helper
+    covers the simple baselines whose leader-output set is non-increasing
+    from the start.
+    """
+    return SingleLeader(
+        extra_condition=extra_condition,
+        description=f"single leader for {protocol.name}",
+    )

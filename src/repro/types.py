@@ -1,0 +1,91 @@
+"""Shared small types and typing helpers used across the library.
+
+The simulation substrate treats agent states as opaque hashable objects; the
+concrete protocols in :mod:`repro.core` and :mod:`repro.protocols` use frozen
+dataclasses and :class:`enum.IntEnum` members so that states hash and compare
+quickly and encode compactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Tuple, TypeVar
+
+__all__ = [
+    "State",
+    "TransitionResult",
+    "Role",
+    "LeaderMode",
+    "CoinMode",
+    "Elevation",
+    "Flip",
+    "ClockMode",
+]
+
+#: Type alias for anything usable as an agent state.
+State = Hashable
+
+#: A transition returns the updated (responder, initiator) pair.
+TransitionResult = Tuple[State, State]
+
+T = TypeVar("T")
+
+
+class Role(enum.IntEnum):
+    """Sub-population membership of an agent in the GSU19 protocol.
+
+    ``ZERO`` is the common initial state, ``X`` the intermediate state of the
+    second symmetry-breaking rule, ``D`` a deactivated agent.  ``COIN``,
+    ``INHIBITOR`` and ``LEADER`` are the three working sub-populations
+    (``C``, ``I`` and ``L`` in the paper).
+    """
+
+    ZERO = 0
+    X = 1
+    COIN = 2
+    INHIBITOR = 3
+    LEADER = 4
+    DEACTIVATED = 5
+
+
+class LeaderMode(enum.IntEnum):
+    """Mode of a leader-candidate agent.
+
+    ``ACTIVE`` (``A``) candidates still compete, ``PASSIVE`` (``P``)
+    candidates lost a coin-flip round but are still *alive* (may become the
+    leader if the clock desynchronises), ``WITHDRAWN`` (``W``) candidates are
+    followers for good.
+    """
+
+    ACTIVE = 0
+    PASSIVE = 1
+    WITHDRAWN = 2
+
+
+class CoinMode(enum.IntEnum):
+    """Whether a coin (or inhibitor) agent is still advancing its level."""
+
+    ADVANCING = 0
+    STOPPED = 1
+
+
+class Elevation(enum.IntEnum):
+    """Elevation flag of an inhibitor agent (``low``/``high`` in the paper)."""
+
+    LOW = 0
+    HIGH = 1
+
+
+class Flip(enum.IntEnum):
+    """Result of the most recent synthetic coin flip of a leader candidate."""
+
+    NONE = 0
+    HEADS = 1
+    TAILS = 2
+
+
+class ClockMode(enum.IntEnum):
+    """Phase-clock mode: junta members push the clock, followers copy it."""
+
+    FOLLOWER = 0
+    INJUNTA = 1

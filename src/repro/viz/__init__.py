@@ -1,0 +1,13 @@
+"""Text-based visualisation.
+
+The execution environment has no plotting stack, so "figures" are rendered
+as ASCII charts and tables: good enough to eyeball the shapes the paper's
+figures convey (geometric decay of coin levels, the fast-elimination
+staircase, the slowing drag ticks) directly in a terminal or a markdown
+document.
+"""
+
+from repro.viz.ascii import ascii_bar_chart, ascii_line_plot, sparkline
+from repro.viz.report import render_report
+
+__all__ = ["ascii_bar_chart", "ascii_line_plot", "sparkline", "render_report"]

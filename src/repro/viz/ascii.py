@@ -1,0 +1,106 @@
+"""ASCII charts.
+
+Minimal, dependency-free renderings used by the CLI and the examples:
+
+* :func:`sparkline` — a one-line summary of a series,
+* :func:`ascii_bar_chart` — labelled horizontal bars (used for coin levels,
+  drag groups, role censuses),
+* :func:`ascii_line_plot` — a crude scatter/line plot on a character grid
+  (used for time-versus-n scaling curves).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["sparkline", "ascii_bar_chart", "ascii_line_plot"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render ``values`` as a unicode sparkline (empty input → empty string)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if math.isclose(low, high):
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ConfigurationError(
+            f"labels and values must have equal length, got {len(labels)} and {len(values)}"
+        )
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    if not labels:
+        return "(empty chart)"
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(width * float(value) / peak)))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_line_plot(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    logx: bool = False,
+) -> str:
+    """Scatter plot of ``(x, y)`` points on a ``width × height`` grid."""
+    if width < 8 or height < 4:
+        raise ConfigurationError("plot area must be at least 8x4 characters")
+    points = [(float(x), float(y)) for x, y in points]
+    if not points:
+        return "(no data)"
+
+    def x_transform(value: float) -> float:
+        return math.log2(value) if logx else value
+
+    xs = [x_transform(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if math.isclose(x_low, x_high):
+        x_high = x_low + 1.0
+    if math.isclose(y_low, y_high):
+        y_high = y_low + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for (x, y), tx in zip(points, xs):
+        column = int(round((tx - x_low) / (x_high - x_low) * (width - 1)))
+        row = int(round((y - y_low) / (y_high - y_low) * (height - 1)))
+        grid[height - 1 - row][column] = "*"
+
+    lines = [f"{y_label} (from {y_low:g} to {y_high:g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    axis_label = f"{x_label} (log2 scale)" if logx else x_label
+    lines.append(f" {axis_label}: {min(x for x, _ in points):g} .. {max(x for x, _ in points):g}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Rendering of experiment results for the terminal.
+
+:func:`render_report` combines the tables of an
+:class:`~repro.experiments.runner.ExperimentResult` with, where it makes the
+shape easier to see, a small ASCII chart derived from the table's numeric
+columns.  The function is deliberately forgiving: charts are an optional
+garnish, so any table it does not know how to chart is simply printed as a
+table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.runner import ExperimentResult, ExperimentTable
+from repro.viz.ascii import ascii_bar_chart
+
+__all__ = ["render_report"]
+
+
+def _numeric(cell) -> Optional[float]:
+    try:
+        return float(str(cell).split()[0].replace("±", ""))
+    except (ValueError, IndexError):
+        return None
+
+
+def _chart_for(table: ExperimentTable) -> Optional[str]:
+    """A bar chart of the first numeric column keyed by the first column."""
+    if len(table.headers) < 2 or not table.rows:
+        return None
+    # Find the first column (beyond the first) where every row is numeric.
+    for column in range(1, len(table.headers)):
+        values = [_numeric(row[column]) for row in table.rows]
+        if all(value is not None for value in values):
+            labels = [str(row[0]) for row in table.rows]
+            chart = ascii_bar_chart(labels, [float(v) for v in values], width=36)
+            return f"[{table.headers[column]}]\n{chart}"
+    return None
+
+
+def render_report(result: ExperimentResult, *, charts: bool = True) -> str:
+    """Render an experiment result as text, optionally with ASCII charts."""
+    parts: List[str] = [result.to_text()]
+    if charts:
+        for table in result.tables:
+            chart = _chart_for(table)
+            if chart and len(table.rows) >= 3:
+                parts.append("")
+                parts.append(f"-- chart: {table.name} --")
+                parts.append(chart)
+    return "\n".join(parts)

@@ -1,0 +1,208 @@
+"""Tests for the analysis toolkit (stats, scaling, concentration, states,
+tables)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.concentration import (
+    chernoff_bound_above,
+    chernoff_bound_below,
+    hoeffding_interval,
+    within_relative_tolerance,
+)
+from repro.analysis.scaling import GROWTH_MODELS, fit_growth_model, rank_models
+from repro.analysis.states import state_usage_from_results
+from repro.analysis.stats import bootstrap_mean_ci, quantile, summarize
+from repro.analysis.tables import format_markdown_table, format_text_table
+from repro.engine.simulation import RunResult
+from repro.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------
+# stats
+# ----------------------------------------------------------------------
+def test_summarize_basic_statistics():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0 and summary.maximum == 4.0
+    assert summary.median == pytest.approx(2.5)
+    assert summary.std == pytest.approx(1.29099, rel=1e-4)
+    assert summary.stderr == pytest.approx(summary.std / 2.0)
+
+
+def test_summarize_single_value():
+    summary = summarize([5.0])
+    assert summary.std == 0.0 and summary.stderr == 0.0
+    assert "5.00" in summary.format()
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ConfigurationError):
+        summarize([])
+
+
+def test_quantile():
+    values = list(range(101))
+    assert quantile(values, 0.5) == pytest.approx(50.0)
+    with pytest.raises(ConfigurationError):
+        quantile(values, 1.5)
+    with pytest.raises(ConfigurationError):
+        quantile([], 0.5)
+
+
+def test_bootstrap_ci_contains_mean():
+    values = [10.0, 12.0, 9.0, 11.0, 10.5, 13.0, 9.5, 10.2]
+    low, high = bootstrap_mean_ci(values, seed=1)
+    assert low <= sum(values) / len(values) <= high
+
+
+def test_bootstrap_ci_single_value_degenerate():
+    assert bootstrap_mean_ci([3.0]) == (3.0, 3.0)
+
+
+def test_bootstrap_ci_validation():
+    with pytest.raises(ConfigurationError):
+        bootstrap_mean_ci([1.0, 2.0], confidence=1.5)
+    with pytest.raises(ConfigurationError):
+        bootstrap_mean_ci([], resamples=10)
+
+
+# ----------------------------------------------------------------------
+# scaling
+# ----------------------------------------------------------------------
+def test_fit_recovers_exact_constant():
+    ns = [256, 1024, 4096, 16384]
+    times = [7.0 * math.log2(n) ** 2 for n in ns]
+    fit = fit_growth_model(ns, times, GROWTH_MODELS["log2"])
+    assert fit.constant == pytest.approx(7.0, rel=1e-6)
+    assert fit.relative_rms == pytest.approx(0.0, abs=1e-9)
+    assert fit.predict(1024) == pytest.approx(7.0 * 100.0)
+
+
+def test_rank_models_identifies_generating_model():
+    ns = [2**k for k in range(8, 16)]
+    linear_times = [0.5 * n for n in ns]
+    ranking = rank_models(ns, linear_times, ("log", "log2", "linear"))
+    assert ranking[0].model.name == "linear"
+
+    log2_times = [3.0 * math.log2(n) ** 2 for n in ns]
+    ranking = rank_models(ns, log2_times, ("log", "log2", "linear"))
+    assert ranking[0].model.name == "log2"
+
+
+def test_rank_models_log_loglog_vs_log2_prefers_generator():
+    ns = [2**k for k in range(8, 20)]
+    times = [5.0 * math.log2(n) * math.log2(math.log2(n)) for n in ns]
+    ranking = rank_models(ns, times, ("log_loglog", "log2"))
+    assert ranking[0].model.name == "log_loglog"
+
+
+def test_fit_validation():
+    with pytest.raises(ConfigurationError):
+        fit_growth_model([1, 2], [1.0], GROWTH_MODELS["log"])
+    with pytest.raises(ConfigurationError):
+        fit_growth_model([], [], GROWTH_MODELS["log"])
+    with pytest.raises(ConfigurationError):
+        rank_models([10, 20], [1.0, 2.0], ("not-a-model",))
+
+
+def test_fit_describe_mentions_constant():
+    fit = fit_growth_model([256, 512], [8.0, 9.0], GROWTH_MODELS["log"])
+    assert "c=" in fit.describe()
+
+
+# ----------------------------------------------------------------------
+# concentration
+# ----------------------------------------------------------------------
+def test_chernoff_bounds_decrease_with_mean():
+    assert chernoff_bound_above(100, 0.5) < chernoff_bound_above(10, 0.5)
+    assert chernoff_bound_below(100, 0.5) < chernoff_bound_below(10, 0.5)
+
+
+def test_chernoff_validation():
+    with pytest.raises(ConfigurationError):
+        chernoff_bound_above(-1, 0.5)
+    with pytest.raises(ConfigurationError):
+        chernoff_bound_above(10, 0.0)
+    with pytest.raises(ConfigurationError):
+        chernoff_bound_below(10, 1.0)
+
+
+def test_hoeffding_interval_shrinks_with_samples():
+    assert hoeffding_interval(1000) < hoeffding_interval(10)
+    with pytest.raises(ConfigurationError):
+        hoeffding_interval(0)
+
+
+def test_within_relative_tolerance():
+    assert within_relative_tolerance(105, 100, 0.1)
+    assert not within_relative_tolerance(120, 100, 0.1)
+    assert within_relative_tolerance(0.0, 0.0, 0.1)
+    with pytest.raises(ConfigurationError):
+        within_relative_tolerance(1, 1, -0.5)
+
+
+# ----------------------------------------------------------------------
+# states
+# ----------------------------------------------------------------------
+def _result(name: str, n: int, states: int) -> RunResult:
+    return RunResult(
+        protocol_name=name,
+        n=n,
+        seed=0,
+        converged=True,
+        interactions=n,
+        parallel_time=1.0,
+        states_used=states,
+    )
+
+
+def test_state_usage_groups_by_protocol_and_n():
+    results = [
+        _result("p", 128, 10),
+        _result("p", 128, 12),
+        _result("p", 256, 14),
+        _result("q", 128, 2),
+    ]
+    usages = state_usage_from_results(results, clock_modulus=8)
+    assert len(usages) == 3
+    first = [u for u in usages if u.protocol_name == "p" and u.n == 128][0]
+    assert first.states.mean == pytest.approx(11.0)
+    assert first.per_clock_phase == pytest.approx(11.0 / 8)
+    no_clock = state_usage_from_results(results)[0]
+    assert no_clock.per_clock_phase is None
+
+
+# ----------------------------------------------------------------------
+# tables
+# ----------------------------------------------------------------------
+def test_text_table_alignment_and_content():
+    text = format_text_table(["name", "value"], [["alpha", 1], ["b", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "alpha" in lines[2]
+    assert "22" in lines[3]
+
+
+def test_markdown_table_structure():
+    text = format_markdown_table(["a", "b"], [[1, 2]])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2 |"
+
+
+def test_tables_validate_shapes():
+    with pytest.raises(ConfigurationError):
+        format_text_table([], [])
+    with pytest.raises(ConfigurationError):
+        format_text_table(["a"], [[1, 2]])
+
+
+def test_table_handles_none_cells():
+    text = format_text_table(["a"], [[None]])
+    assert text.splitlines()[2].strip() == ""

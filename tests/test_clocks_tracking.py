@@ -1,0 +1,139 @@
+"""Tests for round tracking utilities and the leaderless clock."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.clocks.leaderless_clock import LeaderlessClockProtocol
+from repro.clocks.phase_clock import JuntaPhaseClockProtocol
+from repro.clocks.round_tracker import (
+    PhaseStatistics,
+    RoundLengthEstimator,
+    circular_mean_phase,
+)
+from repro.engine.engine import SequentialEngine
+
+
+# ----------------------------------------------------------------------
+# circular mean
+# ----------------------------------------------------------------------
+def test_circular_mean_of_identical_phases():
+    assert circular_mean_phase([5], [10], 16) == pytest.approx(5.0, abs=1e-6)
+
+
+def test_circular_mean_handles_wraparound():
+    # Phases 15 and 1 on a 16-cycle average to ~0, not 8.
+    mean = circular_mean_phase([15, 1], [1, 1], 16)
+    assert min(mean, 16 - mean) < 1.0
+
+
+def test_circular_mean_empty_is_zero():
+    assert circular_mean_phase([], [], 16) == 0.0
+
+
+def test_circular_mean_weights_matter():
+    heavy_low = circular_mean_phase([2, 10], [100, 1], 24)
+    heavy_high = circular_mean_phase([2, 10], [1, 100], 24)
+    assert heavy_low < heavy_high
+
+
+# ----------------------------------------------------------------------
+# PhaseStatistics
+# ----------------------------------------------------------------------
+def test_phase_statistics_from_engine():
+    protocol = JuntaPhaseClockProtocol.for_population(64, gamma=16)
+    engine = SequentialEngine(protocol, 64, rng=0)
+    engine.run_parallel_time(10)
+    statistics = PhaseStatistics.from_engine(engine, protocol.phase_of, 16)
+    assert statistics.population == 64
+    assert 0 <= statistics.mean_phase < 16
+    assert 0 <= statistics.min_phase <= statistics.max_phase < 16
+    assert 0.0 <= statistics.early_fraction <= 1.0
+
+
+def test_phase_statistics_ignores_clockless_states():
+    protocol = JuntaPhaseClockProtocol.for_population(32, gamma=16)
+    engine = SequentialEngine(protocol, 32, rng=0)
+    statistics = PhaseStatistics.from_engine(engine, lambda state: None, 16)
+    assert statistics.population == 0
+    assert statistics.mean_phase == 0.0
+
+
+# ----------------------------------------------------------------------
+# RoundLengthEstimator
+# ----------------------------------------------------------------------
+def _stats(time: float, mean: float) -> PhaseStatistics:
+    return PhaseStatistics(
+        parallel_time=time,
+        mean_phase=mean,
+        min_phase=0,
+        max_phase=0,
+        early_fraction=0.5,
+        population=10,
+    )
+
+
+def test_round_estimator_detects_wraps():
+    estimator = RoundLengthEstimator(gamma=16)
+    times = [0, 1, 2, 3, 4, 5, 6, 7, 8]
+    means = [1, 5, 9, 13, 2, 6, 10, 14, 3]  # wraps at t=4 and t=8
+    completed = []
+    for time, mean in zip(times, means):
+        result = estimator.observe(_stats(float(time), float(mean)))
+        if result is not None:
+            completed.append(result)
+    # Two wraps delimit exactly one full round (the partial stretch before
+    # the first wrap does not count).
+    assert estimator.completed_rounds() == 1
+    assert completed == [4.0]
+    assert estimator.round_lengths() == [4.0]
+
+
+def test_round_estimator_no_wrap_no_rounds():
+    estimator = RoundLengthEstimator(gamma=16)
+    for time, mean in enumerate([1, 2, 3, 4, 5, 6]):
+        estimator.observe(_stats(float(time), float(mean)))
+    assert estimator.completed_rounds() == 0
+    assert estimator.round_lengths() == []
+
+
+def test_round_lengths_measured_on_real_clock_scale_with_logn():
+    """Round length should be Θ(log n): measure it at one size and check it
+    is within a sane constant band of log2(n)."""
+    n = 256
+    protocol = JuntaPhaseClockProtocol.for_population(n, gamma=24)
+    engine = SequentialEngine(protocol, n, rng=3)
+    estimator = RoundLengthEstimator(gamma=24)
+    for _ in range(400):
+        engine.run(n // 4)
+        estimator.observe(PhaseStatistics.from_engine(engine, protocol.phase_of, 24))
+    lengths = estimator.round_lengths()
+    assert lengths, "expected at least one completed round"
+    mean_length = sum(lengths) / len(lengths)
+    ratio = mean_length / math.log2(n)
+    assert 1.0 < ratio < 20.0
+
+
+# ----------------------------------------------------------------------
+# Leaderless clock (ablation substrate)
+# ----------------------------------------------------------------------
+def test_leaderless_clock_advances():
+    protocol = LeaderlessClockProtocol(gamma=16)
+    engine = SequentialEngine(protocol, 64, rng=0)
+    engine.run_parallel_time(60)
+    rounds = [protocol.rounds_of(state) for state in engine.distinct_states()]
+    assert max(rounds) >= 1
+
+
+def test_leaderless_clock_output_is_follower():
+    protocol = LeaderlessClockProtocol(gamma=16)
+    assert protocol.output(protocol.initial_state(4)) == "F"
+
+
+def test_leaderless_clock_tie_pushes_forward():
+    protocol = LeaderlessClockProtocol(gamma=16)
+    state = protocol.initial_state(4)
+    new_state, _ = protocol.transition(state, state)
+    assert new_state.phase == 1

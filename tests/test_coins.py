@@ -1,0 +1,156 @@
+"""Tests for synthetic coins (uniform and biased) and coin analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coins.analysis import (
+    CoinLevelObservation,
+    coin_level_histogram,
+    empirical_bias,
+    junta_bounds,
+)
+from repro.coins.biased import (
+    BiasedCoinModel,
+    expected_level_counts,
+    heads_probability,
+    level_of_initiator,
+)
+from repro.coins.synthetic import ParityCoinProtocol, ParityState, parity_flip
+from repro.engine.engine import SequentialEngine
+from repro.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------
+# Parity coin
+# ----------------------------------------------------------------------
+def test_parity_flip_interprets_bit():
+    assert parity_flip(1) is True
+    assert parity_flip(0) is False
+
+
+def test_parity_protocol_toggles_parity():
+    protocol = ParityCoinProtocol()
+    state = ParityState()
+    new_state, _ = protocol.transition(state, ParityState(parity=1))
+    assert new_state.parity == 1
+    newer_state, _ = protocol.transition(new_state, ParityState(parity=0))
+    assert newer_state.parity == 0
+
+
+def test_parity_protocol_records_observations():
+    protocol = ParityCoinProtocol(max_observations=2)
+    state = ParityState()
+    state, _ = protocol.transition(state, ParityState(parity=1))
+    state, _ = protocol.transition(state, ParityState(parity=1))
+    state, _ = protocol.transition(state, ParityState(parity=1))
+    assert state.flips == 2  # capped
+    assert state.heads == 2
+
+
+def test_parity_protocol_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        ParityCoinProtocol(max_observations=0)
+
+
+def test_parity_coin_bias_is_close_to_half():
+    """The uniform synthetic coin's aggregate bias should approach 1/2."""
+    protocol = ParityCoinProtocol(max_observations=64)
+    engine = SequentialEngine(protocol, 128, rng=0)
+    engine.run_parallel_time(64)
+    bias = protocol.observed_bias(engine.state_counts().items())
+    assert bias == pytest.approx(0.5, abs=0.05)
+
+
+# ----------------------------------------------------------------------
+# Biased coin model
+# ----------------------------------------------------------------------
+def test_expected_level_counts_follow_squaring_recursion():
+    counts = expected_level_counts(1024, 3, coin_fraction=0.25)
+    assert counts[0] == pytest.approx(256.0)
+    assert counts[1] == pytest.approx(256.0**2 / 1024)
+    assert counts[2] == pytest.approx(counts[1] ** 2 / 1024)
+    assert len(counts) == 4
+
+
+def test_expected_level_counts_validation():
+    with pytest.raises(ConfigurationError):
+        expected_level_counts(1, 2)
+    with pytest.raises(ConfigurationError):
+        expected_level_counts(100, -1)
+    with pytest.raises(ConfigurationError):
+        expected_level_counts(100, 1, coin_fraction=0.0)
+
+
+def test_heads_probability_and_bounds():
+    counts = [256.0, 64.0]
+    assert heads_probability(counts, 0, 1024) == pytest.approx(0.25)
+    assert heads_probability(counts, 1, 1024) == pytest.approx(0.0625)
+    with pytest.raises(ConfigurationError):
+        heads_probability(counts, 2, 1024)
+
+
+def test_level_of_initiator():
+    assert level_of_initiator(False, 3) is None
+    assert level_of_initiator(True, 3) == 3
+
+
+def test_biased_coin_model_flip_and_reduction():
+    model = BiasedCoinModel.for_population(1024, 2)
+    assert model.flip(True, 2, level=1) is True
+    assert model.flip(True, 0, level=1) is False
+    assert model.flip(False, None, level=0) is False
+    assert model.heads_probability(0) == pytest.approx(0.25)
+    # Reduction never goes below one candidate.
+    assert model.expected_reduction(1, candidates=2.0) >= 1.0
+
+
+def test_biased_coin_model_probabilities_decrease_with_level():
+    model = BiasedCoinModel.for_population(4096, 3)
+    probabilities = [model.heads_probability(level) for level in range(4)]
+    assert probabilities == sorted(probabilities, reverse=True)
+
+
+# ----------------------------------------------------------------------
+# Coin analysis over engines
+# ----------------------------------------------------------------------
+def test_coin_level_histogram_from_gsu_run():
+    from repro.core.protocol import GSULeaderElection
+
+    n = 256
+    protocol = GSULeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=1)
+    engine.run_parallel_time(40)
+    observation = coin_level_histogram(engine, max_level=protocol.params.phi)
+    assert isinstance(observation, CoinLevelObservation)
+    assert observation.n == n
+    # Roughly a quarter of the agents become coins.
+    assert 0.15 * n < observation.total_coins < 0.35 * n
+    # Cumulative counts are non-increasing in the level.
+    assert all(
+        observation.at_least[i] >= observation.at_least[i + 1]
+        for i in range(len(observation.at_least) - 1)
+    )
+    biases = empirical_bias(observation)
+    assert all(0.0 <= bias <= 1.0 for bias in biases)
+    assert biases == sorted(biases, reverse=True)
+
+
+def test_coin_level_histogram_empty_when_no_coins(slow_engine):
+    observation = coin_level_histogram(slow_engine)
+    assert observation.total_coins == 0
+    assert observation.at_level == []
+    assert observation.junta_size == 0
+
+
+def test_junta_bounds_window():
+    low, high = junta_bounds(1024)
+    assert low == pytest.approx(1024**0.45)
+    assert high == pytest.approx(1024**0.77)
+    assert low < high
+
+
+def test_heads_probability_index_error():
+    observation = CoinLevelObservation(n=100, at_level=[10], at_least=[10])
+    with pytest.raises(IndexError):
+        observation.heads_probability(3)

@@ -1,0 +1,197 @@
+"""Tests for the GSU monitoring helpers and the closed-form predictions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import theory
+from repro.core.monitor import (
+    DragTickTracker,
+    FastEliminationTracker,
+    RoleCensusRecorder,
+    active_leader_count,
+    alive_leader_count,
+    high_inhibitor_census,
+    inhibitor_drag_census,
+    max_leader_drag,
+    min_active_cnt,
+    role_census,
+    uninitialised_count,
+)
+from repro.core.protocol import GSULeaderElection
+from repro.engine.engine import SequentialEngine
+from repro.errors import ConfigurationError
+from repro.types import Role
+
+
+@pytest.fixture(scope="module")
+def warm_engine() -> SequentialEngine:
+    """A protocol run advanced far enough that all roles are assigned."""
+    n = 256
+    protocol = GSULeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=9)
+    engine.run_until(lambda eng: uninitialised_count(eng) == 0, max_interactions=n * 5000)
+    return engine
+
+
+# ----------------------------------------------------------------------
+# Metric functions
+# ----------------------------------------------------------------------
+def test_role_census_covers_population(warm_engine):
+    census = role_census(warm_engine)
+    assert sum(census.values()) == warm_engine.n
+    assert census[Role.ZERO] == 0 and census[Role.X] == 0
+    assert census[Role.COIN] > 0
+    assert census[Role.INHIBITOR] > 0
+    assert census[Role.LEADER] > 0
+
+
+def test_roles_split_roughly_half_quarter_quarter(warm_engine):
+    census = role_census(warm_engine)
+    n = warm_engine.n
+    assert 0.35 * n < census[Role.LEADER] < 0.6 * n
+    assert 0.15 * n < census[Role.COIN] < 0.35 * n
+    assert 0.15 * n < census[Role.INHIBITOR] < 0.35 * n
+
+
+def test_active_and_alive_counts(warm_engine):
+    active = active_leader_count(warm_engine)
+    alive = alive_leader_count(warm_engine)
+    assert 1 <= active <= alive <= warm_engine.n
+
+
+def test_min_active_cnt_and_max_drag(warm_engine):
+    cnt = min_active_cnt(warm_engine)
+    assert cnt is None or 0 <= cnt <= 10
+    assert max_leader_drag(warm_engine) >= 0
+
+
+def test_inhibitor_census_sums_to_inhibitor_population(warm_engine):
+    census = inhibitor_drag_census(warm_engine)
+    assert sum(census.values()) == role_census(warm_engine)[Role.INHIBITOR]
+    high = high_inhibitor_census(warm_engine)
+    for drag, count in high.items():
+        assert count <= census.get(drag, 0)
+
+
+def test_uninitialised_count_zero_after_settling(warm_engine):
+    assert uninitialised_count(warm_engine) == 0
+
+
+# ----------------------------------------------------------------------
+# Recorders
+# ----------------------------------------------------------------------
+def test_fast_elimination_tracker_collects_series(warm_engine):
+    tracker = FastEliminationTracker()
+    tracker.record(warm_engine)
+    assert len(tracker.times) == 1
+    assert len(tracker.active_counts) == 1
+    survivors = tracker.survivors_per_cnt()
+    assert all(isinstance(k, int) for k in survivors)
+    tracker.reset()
+    assert tracker.times == []
+
+
+def test_drag_tick_tracker_records_epoch_entry_not_creation(warm_engine):
+    tracker = DragTickTracker()
+    tracker.record(warm_engine)
+    # Right after initialisation the candidates are still in fast elimination
+    # (cnt > 0), so drag 0 — defined as entry into the final epoch — must not
+    # have been stamped yet.
+    from repro.core.monitor import min_active_cnt
+
+    if (min_active_cnt(warm_engine) or 0) > 0:
+        assert 0 not in tracker.first_seen
+    intervals = tracker.tick_intervals()
+    assert all(value >= 0 for value in intervals.values())
+    tracker.reset()
+    assert tracker.first_seen == {}
+
+
+def test_drag_tick_tracker_stamps_final_epoch_and_ticks():
+    """Run a small population to convergence and check the tracker's
+    first-seen times are monotone in the drag value."""
+    n = 128
+    protocol = GSULeaderElection.for_population(n)
+    tracker = DragTickTracker()
+    from repro.engine.simulation import run_protocol
+
+    run_protocol(
+        protocol,
+        n,
+        seed=4,
+        max_parallel_time=30_000,
+        convergence=protocol.convergence(),
+        recorders=[tracker],
+        check_every=n // 2,
+    )
+    times = [tracker.first_seen[k] for k in sorted(tracker.first_seen)]
+    assert times == sorted(times)
+    assert all(value >= 0 for value in tracker.tick_intervals().values())
+
+
+def test_role_census_recorder(warm_engine):
+    recorder = RoleCensusRecorder()
+    recorder.record(warm_engine)
+    series = recorder.series_for(Role.LEADER)
+    assert len(series) == 1
+    assert series[0][1] == role_census(warm_engine)[Role.LEADER]
+    recorder.reset()
+    assert recorder.times == []
+
+
+# ----------------------------------------------------------------------
+# Theory predictions
+# ----------------------------------------------------------------------
+def test_predicted_level_counts_decreasing():
+    counts = theory.predicted_level_counts(4096, 3)
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] == pytest.approx(1024.0)
+
+
+def test_predicted_junta_window_ordering():
+    low, high = theory.predicted_junta_window(4096)
+    assert low < high
+
+
+def test_predicted_drag_group_sizes_sum_close_to_quarter():
+    sizes = theory.predicted_drag_group_sizes(4096, 4)
+    assert sum(sizes) == pytest.approx(1024.0, rel=0.01)
+    assert all(later <= earlier for earlier, later in zip(sizes, sizes[1:]))
+
+
+def test_predicted_drag_tick_times_grow_geometrically():
+    t0 = theory.predicted_drag_tick_parallel_time(0, 4096)
+    t1 = theory.predicted_drag_tick_parallel_time(1, 4096)
+    t2 = theory.predicted_drag_tick_parallel_time(2, 4096)
+    assert t1 / t0 == pytest.approx(4.0)
+    assert t2 / t1 == pytest.approx(4.0)
+
+
+def test_predicted_headline_bounds_ordering():
+    n = 1 << 16
+    expected = theory.predicted_expected_parallel_time(n)
+    whp = theory.predicted_whp_parallel_time(n)
+    assert expected < whp  # log n loglog n < log² n for large n
+    assert expected == pytest.approx(math.log2(n) * math.log2(math.log2(n)))
+
+
+def test_predicted_final_rounds_is_loglog_scale():
+    small = theory.predicted_final_elimination_rounds(256)
+    large = theory.predicted_final_elimination_rounds(1 << 20)
+    assert small < large < 40
+
+
+def test_predicted_uninitialised_fraction_shrinks():
+    assert theory.predicted_uninitialised_fraction(1 << 20) < theory.predicted_uninitialised_fraction(256)
+
+
+def test_theory_functions_validate_population():
+    with pytest.raises(ConfigurationError):
+        theory.predicted_level_counts(2, 1)
+    with pytest.raises(ConfigurationError):
+        theory.predicted_drag_group_sizes(100, 0)
+    with pytest.raises(ConfigurationError):
+        theory.predicted_drag_tick_parallel_time(-1, 100)

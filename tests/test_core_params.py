@@ -1,0 +1,100 @@
+"""Tests for :class:`repro.core.params.GSUParams`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import GSUParams
+from repro.errors import ConfigurationError
+
+
+def test_from_population_size_defaults_are_valid():
+    for n in (16, 256, 1024, 1 << 16, 1 << 20):
+        params = GSUParams.from_population_size(n)
+        assert params.phi >= 1
+        assert params.psi >= 2
+        assert params.gamma % 2 == 0
+        assert params.n_hint == n
+
+
+def test_phi_grows_with_log_log_n():
+    small = GSUParams.from_population_size(256)
+    huge = GSUParams.from_population_size(1 << 20)
+    assert huge.phi >= small.phi
+    assert huge.phi - small.phi <= 2  # log log growth is very slow
+
+
+def test_explicit_overrides_are_respected():
+    params = GSUParams.from_population_size(1024, gamma=32, phi=3, psi=4)
+    assert params.gamma == 32
+    assert params.phi == 3
+    assert params.psi == 4
+
+
+def test_rejects_tiny_population():
+    with pytest.raises(ConfigurationError):
+        GSUParams.from_population_size(3)
+    with pytest.raises(ConfigurationError):
+        GSUParams(n_hint=2)
+
+
+def test_rejects_invalid_gamma():
+    with pytest.raises(ConfigurationError):
+        GSUParams(n_hint=100, gamma=7)
+    with pytest.raises(ConfigurationError):
+        GSUParams(n_hint=100, gamma=2)
+
+
+def test_rejects_invalid_phi_psi():
+    with pytest.raises(ConfigurationError):
+        GSUParams(n_hint=100, phi=0)
+    with pytest.raises(ConfigurationError):
+        GSUParams(n_hint=100, psi=0)
+
+
+def test_initial_cnt_is_one_more_than_schedule_length():
+    params = GSUParams.from_population_size(1024, phi=2)
+    assert params.coin_schedule_length == 2 * 2 + 2
+    assert params.initial_cnt == params.coin_schedule_length + 1
+
+
+def test_coin_schedule_structure():
+    """γ = [1,1,2,2,…,Φ−1,Φ−1,Φ,Φ,Φ,Φ] — each level below Φ twice, Φ four times."""
+    params = GSUParams.from_population_size(1 << 16, phi=3)
+    schedule = params.coin_schedule()
+    assert len(schedule) == 2 * 3 + 2
+    assert schedule.count(3) == 4
+    for level in (1, 2):
+        assert schedule.count(level) == 2
+    # The schedule, read in consumption order (cnt counts down), starts at Φ.
+    assert schedule[-1] == 3
+    assert schedule[0] == 1
+
+
+def test_coin_level_for_cnt_boundaries():
+    params = GSUParams.from_population_size(1024, phi=2)
+    assert params.coin_level_for_cnt(0) == 0  # final elimination coin
+    assert params.coin_level_for_cnt(1) == 1
+    assert params.coin_level_for_cnt(2) == 1
+    assert params.coin_level_for_cnt(3) == 2
+    assert params.coin_level_for_cnt(params.coin_schedule_length) == 2
+    with pytest.raises(ConfigurationError):
+        params.coin_level_for_cnt(-1)
+    with pytest.raises(ConfigurationError):
+        params.coin_level_for_cnt(params.coin_schedule_length + 1)
+
+
+def test_half_gamma_and_describe():
+    params = GSUParams.from_population_size(1024, gamma=24)
+    assert params.half_gamma == 12
+    description = params.describe()
+    assert "phi" in description and "psi" in description
+
+
+def test_psi_large_enough_for_log_squared_coverage():
+    """4^Ψ should be at least log₂ n so the drag counter spans Θ(log² n)."""
+    import math
+
+    for n in (256, 4096, 1 << 16):
+        params = GSUParams.from_population_size(n)
+        assert 4**params.psi >= math.log2(n)

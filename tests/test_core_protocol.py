@@ -1,0 +1,151 @@
+"""Tests for the assembled GSU19 protocol's transition function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import GSUParams
+from repro.core.protocol import GSULeaderElection
+from repro.core.state import (
+    GSUAgentState,
+    coin_state,
+    inhibitor_state,
+    leader_state,
+    zero_state,
+)
+from repro.engine.engine import SequentialEngine
+from repro.engine.protocol import FOLLOWER_OUTPUT, LEADER_OUTPUT
+from repro.types import CoinMode, Flip, LeaderMode, Role
+
+
+@pytest.fixture
+def protocol() -> GSULeaderElection:
+    return GSULeaderElection(GSUParams.from_population_size(1024, gamma=16, phi=2, psi=3))
+
+
+def test_for_population_builds_valid_protocol():
+    protocol = GSULeaderElection.for_population(4096)
+    assert protocol.params.n_hint == 4096
+    assert protocol.name == "gsu19-leader-election"
+
+
+def test_initial_configuration_is_all_zero(protocol):
+    configuration = protocol.initial_configuration(10)
+    assert len(configuration) == 10
+    assert all(state == zero_state() for state in configuration)
+
+
+def test_output_map(protocol):
+    assert protocol.output(leader_state(mode=LeaderMode.ACTIVE)) == LEADER_OUTPUT
+    assert protocol.output(leader_state(mode=LeaderMode.PASSIVE)) == LEADER_OUTPUT
+    assert protocol.output(leader_state(mode=LeaderMode.WITHDRAWN)) == FOLLOWER_OUTPUT
+    assert protocol.output(coin_state()) == FOLLOWER_OUTPUT
+    assert protocol.output(inhibitor_state()) == FOLLOWER_OUTPUT
+    assert protocol.output(zero_state()) == FOLLOWER_OUTPUT
+
+
+def test_transition_is_deterministic(protocol):
+    responder = leader_state(cnt=3, phase=2)
+    initiator = coin_state(level=1, phase=5)
+    assert protocol.transition(responder, initiator) == protocol.transition(
+        responder, initiator
+    )
+
+
+def test_transition_returns_gsu_states(protocol):
+    responder, initiator = protocol.transition(zero_state(), zero_state())
+    assert isinstance(responder, GSUAgentState)
+    assert isinstance(initiator, GSUAgentState)
+
+
+def test_clock_update_applies_to_responder_only(protocol):
+    responder = coin_state(phase=1, level=0)
+    initiator = coin_state(phase=5, level=0)
+    new_responder, new_initiator = protocol.transition(responder, initiator)
+    assert new_responder.phase == 5  # follower copies the larger phase
+    assert new_initiator.phase == 5  # initiator phase untouched
+
+
+def test_junta_coin_pushes_clock_one_ahead(protocol):
+    junta = coin_state(phase=3, level=protocol.params.phi, mode=CoinMode.STOPPED)
+    other = coin_state(phase=3, level=0, mode=CoinMode.STOPPED)
+    new_responder, _ = protocol.transition(junta, other)
+    assert new_responder.phase == 4
+
+
+def test_role_assignment_skips_same_interaction_cascade(protocol):
+    """A freshly created coin must not be immediately stopped by the very
+    interaction that created it (regression test for the rule-cascade bug)."""
+    new_responder, new_initiator = protocol.transition(
+        GSUAgentState(role=Role.X), GSUAgentState(role=Role.X)
+    )
+    assert new_responder.role == Role.COIN
+    assert new_responder.coin_mode == CoinMode.ADVANCING
+    assert new_initiator.role == Role.INHIBITOR
+    assert new_initiator.inhibitor_mode == CoinMode.ADVANCING
+
+
+def test_leader_creation_through_full_transition(protocol):
+    new_responder, new_initiator = protocol.transition(zero_state(), zero_state())
+    assert new_responder.role == Role.X
+    assert new_initiator.role == Role.LEADER
+    assert new_initiator.cnt == protocol.params.initial_cnt
+
+
+def test_describe_state_delegates(protocol):
+    assert "cnt" in protocol.describe_state(leader_state(cnt=2))
+
+
+def test_no_uninitialised_agents_condition(protocol):
+    engine = SequentialEngine(protocol, 64, rng=0)
+    assert protocol.no_uninitialised_agents(engine) is False
+    engine.run_until(
+        lambda eng: protocol.no_uninitialised_agents(eng),
+        max_interactions=64 * 5000,
+    )
+    assert protocol.no_uninitialised_agents(engine) is True
+
+
+def test_convergence_predicate_description(protocol):
+    predicate = protocol.convergence()
+    assert "alive leader" in predicate.description
+
+
+def test_alive_leader_count_never_increases_after_initialisation():
+    """Once no uninitialised agents remain, the set of alive candidates can
+    only shrink — the certificate behind the convergence predicate."""
+    from repro.core.monitor import alive_leader_count, uninitialised_count
+
+    n = 128
+    protocol = GSULeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=5)
+    engine.run_until(lambda eng: uninitialised_count(eng) == 0, max_interactions=n * 5000)
+    previous = alive_leader_count(engine)
+    for _ in range(30):
+        engine.run_parallel_time(5)
+        current = alive_leader_count(engine)
+        assert current <= previous
+        assert current >= 1
+        previous = current
+
+
+def test_reachable_state_space_is_modest(protocol):
+    """The number of distinct states reachable in a real run must stay far
+    below the naive product of all field ranges (the role partition is what
+    keeps the space at Γ · O(log log n))."""
+    engine = SequentialEngine(protocol, 256, rng=2)
+    engine.run_parallel_time(300)
+    naive_product = (
+        protocol.params.gamma
+        * 6  # roles
+        * (protocol.params.phi + 1)
+        * 2
+        * (protocol.params.psi + 1)
+        * 2
+        * 2
+        * 3
+        * (protocol.params.initial_cnt + 1)
+        * 3
+        * 2
+    )
+    assert engine.states_ever_occupied < naive_product / 50

@@ -1,0 +1,148 @@
+"""Unit tests for the initialisation (Section 4) and coin-preprocessing
+(Section 5) transition rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import InteractionContext
+from repro.core.junta import apply_coin_preprocessing
+from repro.core.params import GSUParams
+from repro.core.roles import apply_initialisation
+from repro.core.state import (
+    coin_state,
+    deactivated_state,
+    inhibitor_state,
+    intermediate_state,
+    leader_state,
+    zero_state,
+)
+from repro.types import CoinMode, LeaderMode, Role
+
+PARAMS = GSUParams.from_population_size(1024, phi=2)
+PLAIN = InteractionContext()
+AT_ZERO = InteractionContext(passed_zero=True)
+
+
+# ----------------------------------------------------------------------
+# Rule (1a): 0 + 0 → X + L
+# ----------------------------------------------------------------------
+def test_two_zeros_become_x_and_leader():
+    responder, initiator = apply_initialisation(zero_state(), zero_state(), PLAIN, PARAMS)
+    assert responder.role == Role.X
+    assert initiator.role == Role.LEADER
+    assert initiator.leader_mode == LeaderMode.ACTIVE
+    assert initiator.cnt == PARAMS.initial_cnt
+    assert initiator.void is True
+
+
+def test_zero_meeting_non_zero_is_unchanged():
+    responder, initiator = apply_initialisation(zero_state(), coin_state(), PLAIN, PARAMS)
+    assert responder.role == Role.ZERO
+    assert initiator.role == Role.COIN
+
+
+# ----------------------------------------------------------------------
+# Rule (1b): X + X → C + I
+# ----------------------------------------------------------------------
+def test_two_intermediates_become_coin_and_inhibitor():
+    responder, initiator = apply_initialisation(
+        intermediate_state(), intermediate_state(), PLAIN, PARAMS
+    )
+    assert responder.role == Role.COIN
+    assert responder.level == 0
+    assert responder.coin_mode == CoinMode.ADVANCING
+    assert initiator.role == Role.INHIBITOR
+    assert initiator.drag == 0
+
+
+def test_x_meeting_zero_is_unchanged():
+    responder, initiator = apply_initialisation(
+        intermediate_state(), zero_state(), PLAIN, PARAMS
+    )
+    assert responder.role == Role.X
+    assert initiator.role == Role.ZERO
+
+
+# ----------------------------------------------------------------------
+# Rule (2): deactivation at the end of the first round
+# ----------------------------------------------------------------------
+def test_zero_deactivates_at_pass_through_zero():
+    responder, initiator = apply_initialisation(zero_state(), coin_state(), AT_ZERO, PARAMS)
+    assert responder.role == Role.DEACTIVATED
+
+
+def test_x_deactivates_at_pass_through_zero():
+    responder, _ = apply_initialisation(intermediate_state(), zero_state(), AT_ZERO, PARAMS)
+    assert responder.role == Role.DEACTIVATED
+
+
+def test_deactivation_takes_precedence_over_rule_1():
+    # Even if both agents are uninitialised, a responder at its round boundary
+    # deactivates rather than pairing up.
+    responder, initiator = apply_initialisation(zero_state(), zero_state(), AT_ZERO, PARAMS)
+    assert responder.role == Role.DEACTIVATED
+    assert initiator.role == Role.ZERO
+
+
+def test_initialised_roles_never_deactivate():
+    for state in (coin_state(), inhibitor_state(), leader_state(), deactivated_state()):
+        responder, _ = apply_initialisation(state, zero_state(), AT_ZERO, PARAMS)
+        assert responder.role == state.role
+
+
+def test_phases_are_preserved_by_initialisation():
+    responder, initiator = apply_initialisation(
+        zero_state(phase=3), zero_state(phase=7), PLAIN, PARAMS
+    )
+    assert responder.phase == 3
+    assert initiator.phase == 7
+
+
+# ----------------------------------------------------------------------
+# Coin preprocessing (Section 5)
+# ----------------------------------------------------------------------
+def test_coin_stops_on_non_coin():
+    responder, _ = apply_coin_preprocessing(coin_state(level=1), leader_state(), PLAIN, PARAMS)
+    assert responder.coin_mode == CoinMode.STOPPED
+    assert responder.level == 1
+
+
+def test_coin_stops_on_lower_level_coin():
+    responder, _ = apply_coin_preprocessing(
+        coin_state(level=1), coin_state(level=0), PLAIN, PARAMS
+    )
+    assert responder.coin_mode == CoinMode.STOPPED
+    assert responder.level == 1
+
+
+def test_coin_advances_on_equal_or_higher_level():
+    responder, _ = apply_coin_preprocessing(
+        coin_state(level=0), coin_state(level=0), PLAIN, PARAMS
+    )
+    assert responder.level == 1
+    assert responder.coin_mode == CoinMode.ADVANCING  # phi=2, not yet at the top
+    responder, _ = apply_coin_preprocessing(
+        coin_state(level=1), coin_state(level=2), PLAIN, PARAMS
+    )
+    assert responder.level == 2
+    assert responder.coin_mode == CoinMode.STOPPED  # reached Φ → junta, frozen
+
+
+def test_stopped_coin_never_changes():
+    stopped = coin_state(level=1, mode=CoinMode.STOPPED)
+    responder, _ = apply_coin_preprocessing(stopped, coin_state(level=2), PLAIN, PARAMS)
+    assert responder == stopped
+
+
+def test_non_coins_are_ignored_by_coin_rules():
+    leader = leader_state(cnt=3)
+    responder, _ = apply_coin_preprocessing(leader, coin_state(), PLAIN, PARAMS)
+    assert responder == leader
+
+
+def test_coin_level_never_exceeds_phi():
+    at_top = coin_state(level=PARAMS.phi, mode=CoinMode.ADVANCING)
+    responder, _ = apply_coin_preprocessing(at_top, coin_state(level=PARAMS.phi), PLAIN, PARAMS)
+    assert responder.level == PARAMS.phi
+    assert responder.coin_mode == CoinMode.STOPPED

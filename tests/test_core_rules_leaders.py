@@ -1,0 +1,316 @@
+"""Unit tests for the leader-candidate rules: round reset, coin flips, heads
+epidemic (Section 6), drag rules (Section 7) and the slow backup (Section 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backup import apply_slow_backup
+from repro.core.context import InteractionContext
+from repro.core.fast_elimination import (
+    apply_coin_flip,
+    apply_heads_epidemic,
+    apply_round_reset,
+)
+from repro.core.final_elimination import apply_drag_rules
+from repro.core.inhibitors import apply_inhibitor_rules
+from repro.core.params import GSUParams
+from repro.core.state import coin_state, inhibitor_state, leader_state
+from repro.types import CoinMode, Elevation, Flip, LeaderMode, Role
+
+PARAMS = GSUParams.from_population_size(1024, phi=2)
+PLAIN = InteractionContext()
+AT_ZERO = InteractionContext(passed_zero=True)
+EARLY = InteractionContext(early=True)
+LATE = InteractionContext(late=True)
+
+
+# ----------------------------------------------------------------------
+# Rule (3): round reset
+# ----------------------------------------------------------------------
+def test_reset_decrements_cnt_and_clears_round_state():
+    leader = leader_state(cnt=4, flip=Flip.HEADS, void=False)
+    responder, _ = apply_round_reset(leader, coin_state(), AT_ZERO, PARAMS)
+    assert responder.cnt == 3
+    assert responder.flip == Flip.NONE
+    assert responder.void is True
+
+
+def test_reset_keeps_cnt_at_zero_in_final_epoch():
+    leader = leader_state(cnt=0, flip=Flip.TAILS, void=False, drag=2)
+    responder, _ = apply_round_reset(leader, coin_state(), AT_ZERO, PARAMS)
+    assert responder.cnt == 0
+    assert responder.drag == 2
+    assert responder.flip == Flip.NONE
+    assert responder.void is True
+
+
+def test_reset_only_fires_at_pass_through_zero():
+    leader = leader_state(cnt=4, flip=Flip.HEADS, void=False)
+    responder, _ = apply_round_reset(leader, coin_state(), PLAIN, PARAMS)
+    assert responder == leader
+
+
+def test_reset_ignores_withdrawn_and_non_leaders():
+    withdrawn = leader_state(mode=LeaderMode.WITHDRAWN)
+    assert apply_round_reset(withdrawn, coin_state(), AT_ZERO, PARAMS)[0] == withdrawn
+    coin = coin_state()
+    assert apply_round_reset(coin, coin_state(), AT_ZERO, PARAMS)[0] == coin
+
+
+# ----------------------------------------------------------------------
+# Rules (4)/(5): coin flips
+# ----------------------------------------------------------------------
+def test_flip_heads_when_initiator_coin_level_high_enough():
+    level = PARAMS.coin_level_for_cnt(4)
+    leader = leader_state(cnt=4, flip=Flip.NONE)
+    responder, _ = apply_coin_flip(leader, coin_state(level=level), EARLY, PARAMS)
+    assert responder.flip == Flip.HEADS
+    assert responder.void is False
+
+
+def test_flip_tails_when_initiator_coin_level_too_low():
+    # cnt=4 with phi=2 schedules coin level 2; a level-1 coin is tails.
+    leader = leader_state(cnt=4, flip=Flip.NONE)
+    responder, _ = apply_coin_flip(leader, coin_state(level=1), EARLY, PARAMS)
+    assert responder.flip == Flip.TAILS
+    assert responder.void is True
+
+
+def test_flip_tails_when_initiator_not_a_coin():
+    leader = leader_state(cnt=2, flip=Flip.NONE)
+    responder, _ = apply_coin_flip(leader, inhibitor_state(), EARLY, PARAMS)
+    assert responder.flip == Flip.TAILS
+
+
+def test_flip_only_once_per_round():
+    leader = leader_state(cnt=2, flip=Flip.TAILS)
+    responder, _ = apply_coin_flip(leader, coin_state(level=2), EARLY, PARAMS)
+    assert responder == leader
+
+
+def test_no_flip_in_first_round():
+    leader = leader_state(cnt=PARAMS.initial_cnt, flip=Flip.NONE)
+    responder, _ = apply_coin_flip(leader, coin_state(level=2), EARLY, PARAMS)
+    assert responder.flip == Flip.NONE
+
+
+def test_no_flip_outside_early_half():
+    leader = leader_state(cnt=2, flip=Flip.NONE)
+    assert apply_coin_flip(leader, coin_state(level=2), LATE, PARAMS)[0] == leader
+    assert apply_coin_flip(leader, coin_state(level=2), PLAIN, PARAMS)[0] == leader
+
+
+def test_passive_and_withdrawn_do_not_flip():
+    passive = leader_state(mode=LeaderMode.PASSIVE, cnt=2)
+    withdrawn = leader_state(mode=LeaderMode.WITHDRAWN, cnt=0)
+    assert apply_coin_flip(passive, coin_state(level=2), EARLY, PARAMS)[0] == passive
+    assert apply_coin_flip(withdrawn, coin_state(level=2), EARLY, PARAMS)[0] == withdrawn
+
+
+def test_final_epoch_uses_level_zero_coin():
+    leader = leader_state(cnt=0, flip=Flip.NONE)
+    responder, _ = apply_coin_flip(leader, coin_state(level=0), EARLY, PARAMS)
+    assert responder.flip == Flip.HEADS
+
+
+# ----------------------------------------------------------------------
+# Rules (6)/(7): heads epidemic
+# ----------------------------------------------------------------------
+def test_tails_active_becomes_passive_on_hearing_heads():
+    loser = leader_state(cnt=3, flip=Flip.TAILS, void=True)
+    winner = leader_state(cnt=3, flip=Flip.HEADS, void=False)
+    responder, _ = apply_heads_epidemic(loser, winner, LATE, PARAMS)
+    assert responder.leader_mode == LeaderMode.PASSIVE
+    assert responder.void is False
+
+
+def test_heads_active_is_not_demoted():
+    winner = leader_state(cnt=3, flip=Flip.HEADS, void=False)
+    other = leader_state(cnt=3, flip=Flip.HEADS, void=False)
+    responder, _ = apply_heads_epidemic(winner, other, LATE, PARAMS)
+    assert responder.leader_mode == LeaderMode.ACTIVE
+
+
+def test_rumour_spreads_without_demotion_for_none_flip():
+    listener = leader_state(cnt=3, flip=Flip.NONE, void=True)
+    carrier = leader_state(cnt=3, flip=Flip.TAILS, void=False, mode=LeaderMode.PASSIVE)
+    responder, _ = apply_heads_epidemic(listener, carrier, LATE, PARAMS)
+    assert responder.void is False
+    assert responder.leader_mode == LeaderMode.ACTIVE
+
+
+def test_epidemic_only_in_late_half():
+    loser = leader_state(cnt=3, flip=Flip.TAILS, void=True)
+    winner = leader_state(cnt=3, flip=Flip.HEADS, void=False)
+    assert apply_heads_epidemic(loser, winner, EARLY, PARAMS)[0] == loser
+
+
+def test_epidemic_requires_informed_initiator():
+    loser = leader_state(cnt=3, flip=Flip.TAILS, void=True)
+    uninformed = leader_state(cnt=3, flip=Flip.TAILS, void=True)
+    assert apply_heads_epidemic(loser, uninformed, LATE, PARAMS)[0] == loser
+
+
+def test_epidemic_ignores_non_leader_initiators():
+    loser = leader_state(cnt=3, flip=Flip.TAILS, void=True)
+    assert apply_heads_epidemic(loser, coin_state(), LATE, PARAMS)[0] == loser
+
+
+# ----------------------------------------------------------------------
+# Rules (9)/(10): drag adoption and increments
+# ----------------------------------------------------------------------
+def test_rule9_withdraws_behind_higher_drag():
+    lagging = leader_state(mode=LeaderMode.PASSIVE, cnt=0, drag=0)
+    ahead = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=2)
+    responder, _ = apply_drag_rules(lagging, ahead, PLAIN, PARAMS)
+    assert responder.leader_mode == LeaderMode.WITHDRAWN
+    assert responder.drag == 2
+
+
+def test_rule9_applies_to_active_leaders_too():
+    lagging = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=0)
+    ahead = leader_state(mode=LeaderMode.WITHDRAWN, cnt=0, drag=1)
+    responder, _ = apply_drag_rules(lagging, ahead, PLAIN, PARAMS)
+    assert responder.leader_mode == LeaderMode.WITHDRAWN
+    assert responder.drag == 1
+
+
+def test_withdrawn_carriers_keep_propagating_drag():
+    carrier = leader_state(mode=LeaderMode.WITHDRAWN, cnt=0, drag=1)
+    ahead = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=3)
+    responder, _ = apply_drag_rules(carrier, ahead, PLAIN, PARAMS)
+    assert responder.leader_mode == LeaderMode.WITHDRAWN
+    assert responder.drag == 3
+
+
+def test_rule9_needs_strictly_higher_drag():
+    a = leader_state(mode=LeaderMode.PASSIVE, cnt=0, drag=2)
+    b = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=2)
+    assert apply_drag_rules(a, b, PLAIN, PARAMS)[0] == a
+
+
+def test_rule10_increments_drag_with_high_inhibitor():
+    leader = leader_state(mode=LeaderMode.ACTIVE, cnt=0, flip=Flip.HEADS, drag=1)
+    inhibitor = inhibitor_state(drag=1, mode=CoinMode.STOPPED, elevation=Elevation.HIGH)
+    responder, _ = apply_drag_rules(leader, inhibitor, PLAIN, PARAMS)
+    assert responder.drag == 2
+
+
+def test_rule10_requires_heads_final_epoch_matching_drag_and_high():
+    inhibitor_high = inhibitor_state(drag=1, mode=CoinMode.STOPPED, elevation=Elevation.HIGH)
+    # tails flip → no increment
+    tails = leader_state(mode=LeaderMode.ACTIVE, cnt=0, flip=Flip.TAILS, drag=1)
+    assert apply_drag_rules(tails, inhibitor_high, PLAIN, PARAMS)[0].drag == 1
+    # still in fast elimination (cnt > 0) → no increment
+    busy = leader_state(mode=LeaderMode.ACTIVE, cnt=2, flip=Flip.HEADS, drag=1)
+    assert apply_drag_rules(busy, inhibitor_high, PLAIN, PARAMS)[0].drag == 1
+    # drag mismatch → no increment
+    mismatched = leader_state(mode=LeaderMode.ACTIVE, cnt=0, flip=Flip.HEADS, drag=0)
+    assert apply_drag_rules(mismatched, inhibitor_high, PLAIN, PARAMS)[0].drag == 0
+    # low inhibitor → no increment
+    inhibitor_low = inhibitor_state(drag=1, mode=CoinMode.STOPPED, elevation=Elevation.LOW)
+    ready = leader_state(mode=LeaderMode.ACTIVE, cnt=0, flip=Flip.HEADS, drag=1)
+    assert apply_drag_rules(ready, inhibitor_low, PLAIN, PARAMS)[0].drag == 1
+
+
+def test_rule10_caps_drag_at_psi():
+    leader = leader_state(mode=LeaderMode.ACTIVE, cnt=0, flip=Flip.HEADS, drag=PARAMS.psi)
+    inhibitor = inhibitor_state(drag=PARAMS.psi, mode=CoinMode.STOPPED, elevation=Elevation.HIGH)
+    assert apply_drag_rules(leader, inhibitor, PLAIN, PARAMS)[0].drag == PARAMS.psi
+
+
+# ----------------------------------------------------------------------
+# Inhibitor rules (Section 7, rule (8) and preprocessing)
+# ----------------------------------------------------------------------
+def test_inhibitor_drag_grows_on_coin_in_late_half():
+    inhibitor = inhibitor_state(drag=0, mode=CoinMode.ADVANCING)
+    responder, _ = apply_inhibitor_rules(inhibitor, coin_state(), LATE, PARAMS)
+    assert responder.drag == 1
+    assert responder.inhibitor_mode == CoinMode.ADVANCING
+
+
+def test_inhibitor_stops_on_non_coin_in_late_half():
+    inhibitor = inhibitor_state(drag=1, mode=CoinMode.ADVANCING)
+    responder, _ = apply_inhibitor_rules(inhibitor, leader_state(), LATE, PARAMS)
+    assert responder.drag == 1
+    assert responder.inhibitor_mode == CoinMode.STOPPED
+
+
+def test_inhibitor_preprocessing_inert_outside_late_half():
+    inhibitor = inhibitor_state(drag=0, mode=CoinMode.ADVANCING)
+    assert apply_inhibitor_rules(inhibitor, coin_state(), EARLY, PARAMS)[0] == inhibitor
+
+
+def test_inhibitor_drag_capped_at_psi():
+    inhibitor = inhibitor_state(drag=PARAMS.psi, mode=CoinMode.ADVANCING)
+    responder, _ = apply_inhibitor_rules(inhibitor, coin_state(), LATE, PARAMS)
+    assert responder.drag == PARAMS.psi
+    assert responder.inhibitor_mode == CoinMode.STOPPED
+
+
+def test_rule8_activation_by_final_epoch_active_leader():
+    inhibitor = inhibitor_state(drag=1, mode=CoinMode.STOPPED, elevation=Elevation.LOW)
+    leader = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=1)
+    responder, _ = apply_inhibitor_rules(inhibitor, leader, PLAIN, PARAMS)
+    assert responder.elevation == Elevation.HIGH
+
+
+def test_rule8_requires_matching_drag_and_final_epoch():
+    inhibitor = inhibitor_state(drag=1, mode=CoinMode.STOPPED, elevation=Elevation.LOW)
+    wrong_drag = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=0)
+    assert apply_inhibitor_rules(inhibitor, wrong_drag, PLAIN, PARAMS)[0].elevation == Elevation.LOW
+    fast_epoch = leader_state(mode=LeaderMode.ACTIVE, cnt=3, drag=1)
+    assert apply_inhibitor_rules(inhibitor, fast_epoch, PLAIN, PARAMS)[0].elevation == Elevation.LOW
+    passive = leader_state(mode=LeaderMode.PASSIVE, cnt=0, drag=1)
+    assert apply_inhibitor_rules(inhibitor, passive, PLAIN, PARAMS)[0].elevation == Elevation.LOW
+
+
+def test_rule8_epidemic_among_same_drag_inhibitors():
+    low = inhibitor_state(drag=2, mode=CoinMode.STOPPED, elevation=Elevation.LOW)
+    high = inhibitor_state(drag=2, mode=CoinMode.STOPPED, elevation=Elevation.HIGH)
+    responder, _ = apply_inhibitor_rules(low, high, PLAIN, PARAMS)
+    assert responder.elevation == Elevation.HIGH
+    other_drag_high = inhibitor_state(drag=1, mode=CoinMode.STOPPED, elevation=Elevation.HIGH)
+    assert apply_inhibitor_rules(low, other_drag_high, PLAIN, PARAMS)[0].elevation == Elevation.LOW
+
+
+# ----------------------------------------------------------------------
+# Rule (11): slow backup with seniority
+# ----------------------------------------------------------------------
+def test_backup_junior_responder_withdraws():
+    junior = leader_state(mode=LeaderMode.PASSIVE, cnt=0, drag=0)
+    senior = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=1)
+    responder, initiator = apply_slow_backup(junior, senior, PLAIN, PARAMS)
+    assert responder.leader_mode == LeaderMode.WITHDRAWN
+    assert initiator.leader_mode == LeaderMode.ACTIVE
+
+
+def test_backup_junior_initiator_withdraws():
+    senior = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=2)
+    junior = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=0)
+    responder, initiator = apply_slow_backup(senior, junior, PLAIN, PARAMS)
+    assert responder.leader_mode == LeaderMode.ACTIVE
+    assert initiator.leader_mode == LeaderMode.WITHDRAWN
+
+
+def test_backup_tie_eliminates_exactly_one():
+    a = leader_state(mode=LeaderMode.ACTIVE, cnt=2)
+    b = leader_state(mode=LeaderMode.ACTIVE, cnt=2)
+    responder, initiator = apply_slow_backup(a, b, PLAIN, PARAMS)
+    modes = sorted([responder.leader_mode, initiator.leader_mode], key=lambda m: m.value)
+    assert modes == [LeaderMode.ACTIVE, LeaderMode.WITHDRAWN]
+
+
+def test_backup_ignores_non_alive_pairs():
+    alive = leader_state(mode=LeaderMode.ACTIVE)
+    withdrawn = leader_state(mode=LeaderMode.WITHDRAWN)
+    assert apply_slow_backup(alive, withdrawn, PLAIN, PARAMS)[0] == alive
+    assert apply_slow_backup(alive, coin_state(), PLAIN, PARAMS)[0] == alive
+
+
+def test_backup_demoted_agent_adopts_max_drag():
+    junior = leader_state(mode=LeaderMode.PASSIVE, cnt=0, drag=0)
+    senior = leader_state(mode=LeaderMode.ACTIVE, cnt=0, drag=3)
+    responder, _ = apply_slow_backup(junior, senior, PLAIN, PARAMS)
+    assert responder.drag == 3

@@ -1,0 +1,75 @@
+"""Tests for the approximate batched engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.batch_engine import BatchEngine
+from repro.errors import ConfigurationError
+from repro.protocols.approximate_majority import ApproximateMajority
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.slow import SlowLeaderElection
+
+
+def test_flagged_as_approximate():
+    engine = BatchEngine(SlowLeaderElection(), 100, rng=0)
+    assert engine.exact is False
+
+
+def test_rejects_bad_batch_fraction():
+    with pytest.raises(ConfigurationError):
+        BatchEngine(SlowLeaderElection(), 100, rng=0, batch_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        BatchEngine(SlowLeaderElection(), 100, rng=0, batch_fraction=1.5)
+
+
+def test_batch_size_derived_from_fraction():
+    engine = BatchEngine(SlowLeaderElection(), 200, rng=0, batch_fraction=0.1)
+    assert engine.batch_size == 20
+
+
+def test_population_conserved_despite_bulk_updates():
+    engine = BatchEngine(SlowLeaderElection(), 150, rng=1)
+    engine.run(30_000)
+    assert sum(engine.state_counts().values()) == 150
+
+
+def test_counts_never_negative():
+    engine = BatchEngine(ApproximateMajority(0.5), 100, rng=2)
+    engine.run(50_000)
+    assert all(count >= 0 for _, count in engine.state_count_items())
+
+
+def test_interactions_counter_matches_request():
+    engine = BatchEngine(SlowLeaderElection(), 64, rng=0)
+    engine.run(1000)
+    assert engine.interactions == 1000
+
+
+def test_epidemic_spreads_in_batch_engine():
+    engine = BatchEngine(OneWayEpidemic(sources=4), 256, rng=3)
+    engine.run_parallel_time(80)
+    assert engine.count_of("susceptible") == 0
+
+
+def test_batch_dynamics_track_exact_dynamics_roughly():
+    """The approximate engine should follow the same coarse trajectory as the
+    exact one (slow-election leader decay), within a generous tolerance."""
+    from repro.engine.engine import SequentialEngine
+
+    n = 200
+    horizon = 6 * n
+    exact = SequentialEngine(SlowLeaderElection(), n, rng=7)
+    exact.run(horizon)
+    approx = BatchEngine(SlowLeaderElection(), n, rng=7)
+    approx.run(horizon)
+    exact_leaders = exact.count_of("L")
+    approx_leaders = approx.count_of("L")
+    # Expected ≈ n/(1+t/n) ≈ 28; allow a ±60% band for the approximation.
+    assert approx_leaders == pytest.approx(exact_leaders, rel=0.6, abs=15)
+
+
+def test_single_step_works():
+    engine = BatchEngine(SlowLeaderElection(), 50, rng=0)
+    engine.step()
+    assert engine.interactions == 1

@@ -1,0 +1,99 @@
+"""Tests for convergence predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.convergence import (
+    AllAgentsSatisfy,
+    NeverConverge,
+    OutputCountCondition,
+    SingleLeader,
+    StableOutputs,
+)
+from repro.engine.engine import SequentialEngine
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.slow import SlowLeaderElection
+
+
+@pytest.fixture
+def converged_engine() -> SequentialEngine:
+    engine = SequentialEngine(SlowLeaderElection(), 32, rng=0)
+    engine.run_until(lambda eng: eng.count_of("L") == 1, max_interactions=500_000)
+    return engine
+
+
+def test_never_converge_is_always_false(converged_engine):
+    assert NeverConverge()(converged_engine) is False
+
+
+def test_single_leader_true_when_one_leader(converged_engine):
+    assert SingleLeader()(converged_engine) is True
+
+
+def test_single_leader_false_initially():
+    engine = SequentialEngine(SlowLeaderElection(), 16, rng=0)
+    assert SingleLeader()(engine) is False
+
+
+def test_single_leader_extra_condition_blocks(converged_engine):
+    predicate = SingleLeader(extra_condition=lambda engine: False)
+    assert predicate(converged_engine) is False
+
+
+def test_single_leader_extra_condition_passes(converged_engine):
+    predicate = SingleLeader(extra_condition=lambda engine: True)
+    assert predicate(converged_engine) is True
+
+
+def test_all_agents_satisfy():
+    engine = SequentialEngine(OneWayEpidemic(sources=1), 64, rng=1)
+    informed = AllAgentsSatisfy(lambda state: state == "informed", "all informed")
+    assert informed(engine) is False
+    engine.run_parallel_time(60)
+    assert informed(engine) is True
+
+
+def test_output_count_condition():
+    engine = SequentialEngine(SlowLeaderElection(), 16, rng=2)
+    at_most_five = OutputCountCondition(lambda counts: counts.get("L", 0) <= 5)
+    assert at_most_five(engine) is False
+    engine.run_until(at_most_five, max_interactions=500_000)
+    assert engine.count_of("L") <= 5
+
+
+def test_stable_outputs_requires_patience():
+    engine = SequentialEngine(SlowLeaderElection(), 8, rng=3)
+    engine.run_until(lambda eng: eng.count_of("L") == 1, max_interactions=200_000)
+    predicate = StableOutputs(patience=3)
+    # The configuration no longer changes its outputs; the predicate still
+    # needs `patience` consecutive identical observations.
+    assert predicate(engine) is False
+    assert predicate(engine) is False
+    assert predicate(engine) is False
+    assert predicate(engine) is True
+
+
+def test_stable_outputs_reset():
+    engine = SequentialEngine(SlowLeaderElection(), 8, rng=3)
+    predicate = StableOutputs(patience=1)
+    predicate(engine)
+    assert predicate(engine) is True
+    predicate.reset()
+    assert predicate(engine) is False
+
+
+def test_stable_outputs_rejects_bad_patience():
+    with pytest.raises(ValueError):
+        StableOutputs(patience=0)
+
+
+def test_predicates_have_descriptions():
+    for predicate in (
+        NeverConverge(),
+        SingleLeader(),
+        StableOutputs(),
+        AllAgentsSatisfy(lambda s: True),
+        OutputCountCondition(lambda c: True),
+    ):
+        assert isinstance(predicate.description, str) and predicate.description

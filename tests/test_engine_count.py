@@ -1,0 +1,94 @@
+"""Tests for the exact count-based engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.count_engine import CountEngine
+from repro.engine.engine import SequentialEngine
+from repro.protocols.approximate_majority import ApproximateMajority
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.slow import SlowLeaderElection
+
+
+def test_initial_counts_match_configuration():
+    protocol = ApproximateMajority(initial_a_fraction=0.75)
+    engine = CountEngine(protocol, 100, rng=0)
+    counts = engine.state_counts()
+    assert counts["A"] == 75
+    assert counts["B"] == 25
+
+
+def test_population_conserved():
+    engine = CountEngine(SlowLeaderElection(), 80, rng=1)
+    engine.run(20_000)
+    assert sum(engine.state_counts().values()) == 80
+
+
+def test_leader_count_monotone_and_positive():
+    engine = CountEngine(SlowLeaderElection(), 64, rng=2)
+    previous = engine.count_of("L")
+    for _ in range(40):
+        engine.run(500)
+        current = engine.count_of("L")
+        assert 1 <= current <= previous
+        previous = current
+
+
+def test_canonical_states_are_preregistered():
+    protocol = ApproximateMajority()
+    engine = CountEngine(protocol, 20, rng=0)
+    # blank has not appeared yet but is registered in the encoder.
+    assert engine.encoder.known("blank")
+    assert engine.count_of("blank") == 0
+
+
+def test_epidemic_completes():
+    engine = CountEngine(OneWayEpidemic(sources=1), 128, rng=3)
+    engine.run_parallel_time(60)
+    assert engine.count_of("susceptible") == 0
+
+
+def test_interactions_counter_advances():
+    engine = CountEngine(SlowLeaderElection(), 32, rng=0)
+    engine.run(123)
+    assert engine.interactions == 123
+    assert engine.parallel_time == pytest.approx(123 / 32)
+
+
+def test_same_seed_reproducible():
+    a = CountEngine(SlowLeaderElection(), 64, rng=11)
+    b = CountEngine(SlowLeaderElection(), 64, rng=11)
+    a.run(5_000)
+    b.run(5_000)
+    assert a.state_counts() == b.state_counts()
+
+
+def test_distribution_agrees_with_sequential_engine():
+    """The two exact engines must produce statistically indistinguishable
+    dynamics; compare the mean leader count after a fixed horizon."""
+    n = 64
+    horizon = 8 * n
+    seeds = range(20)
+    sequential_counts = []
+    count_engine_counts = []
+    for seed in seeds:
+        sequential = SequentialEngine(SlowLeaderElection(), n, rng=seed)
+        sequential.run(horizon)
+        sequential_counts.append(sequential.count_of("L"))
+        counting = CountEngine(SlowLeaderElection(), n, rng=seed + 1000)
+        counting.run(horizon)
+        count_engine_counts.append(counting.count_of("L"))
+    mean_sequential = sum(sequential_counts) / len(sequential_counts)
+    mean_counting = sum(count_engine_counts) / len(count_engine_counts)
+    # After 8 parallel time units the expected leader count is ~n/(1+8) ≈ 7;
+    # the two estimates should agree within a loose band.
+    assert abs(mean_sequential - mean_counting) < 3.0
+
+
+def test_majority_converges_to_initial_majority():
+    protocol = ApproximateMajority(initial_a_fraction=0.8)
+    engine = CountEngine(protocol, 200, rng=5)
+    engine.run_parallel_time(200)
+    counts = engine.counts_by_output()
+    assert counts.get("A", 0) > counts.get("B", 0)

@@ -1,0 +1,65 @@
+"""Tests for the multi-seed sweep driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.parallel import SweepPoint, run_many
+from repro.errors import ConfigurationError
+from repro.protocols.slow import SlowLeaderElection
+
+
+def _factory(n: int) -> SlowLeaderElection:
+    return SlowLeaderElection()
+
+
+def test_run_many_shape_and_order():
+    points = run_many(
+        _factory, [16, 32], repetitions=3, base_seed=1, max_parallel_time=1000
+    )
+    assert len(points) == 6
+    assert [point.n for point in points] == [16, 16, 16, 32, 32, 32]
+    assert all(isinstance(point, SweepPoint) for point in points)
+
+
+def test_run_many_results_converge():
+    points = run_many(
+        _factory, [24], repetitions=2, base_seed=5, max_parallel_time=2000
+    )
+    assert all(point.result.converged for point in points)
+    assert all(point.result.leader_count == 1 for point in points)
+
+
+def test_run_many_seeds_are_distinct_and_deterministic():
+    first = run_many(_factory, [16], repetitions=4, base_seed=9, max_parallel_time=500)
+    second = run_many(_factory, [16], repetitions=4, base_seed=9, max_parallel_time=500)
+    assert [p.seed for p in first] == [p.seed for p in second]
+    assert len({p.seed for p in first}) == 4
+    assert [p.result.parallel_time for p in first] == [
+        p.result.parallel_time for p in second
+    ]
+
+
+def test_run_many_rejects_empty_sizes():
+    with pytest.raises(ConfigurationError):
+        run_many(_factory, [], repetitions=1)
+
+
+def test_run_many_rejects_zero_repetitions():
+    with pytest.raises(ConfigurationError):
+        run_many(_factory, [16], repetitions=0)
+
+
+def test_run_many_with_convergence_factory():
+    from repro.engine.convergence import NeverConverge
+
+    points = run_many(
+        _factory,
+        [16],
+        repetitions=1,
+        base_seed=2,
+        max_parallel_time=5,
+        convergence_factory=lambda n: NeverConverge(),
+    )
+    assert not points[0].result.converged
+    assert points[0].result.parallel_time == pytest.approx(5.0)

@@ -1,0 +1,82 @@
+"""Tests for simulation recorders."""
+
+from __future__ import annotations
+
+from repro.engine.engine import SequentialEngine
+from repro.engine.recorder import MetricRecorder, OutputCountRecorder, SnapshotRecorder
+from repro.protocols.slow import SlowLeaderElection
+
+
+def _engine(n: int = 32, seed: int = 0) -> SequentialEngine:
+    return SequentialEngine(SlowLeaderElection(), n, rng=seed)
+
+
+def test_snapshot_recorder_collects_counts():
+    engine = _engine()
+    recorder = SnapshotRecorder()
+    for _ in range(5):
+        engine.run(100)
+        recorder.record(engine)
+    assert len(recorder) == 5
+    assert all(sum(snapshot.values()) == 32 for snapshot in recorder.snapshots)
+    assert recorder.times == sorted(recorder.times)
+
+
+def test_snapshot_recorder_thins_when_full():
+    engine = _engine()
+    recorder = SnapshotRecorder(max_snapshots=4)
+    for _ in range(10):
+        recorder.record(engine)
+    assert len(recorder) <= 6  # thinned at least once
+
+
+def test_snapshot_recorder_reset():
+    engine = _engine()
+    recorder = SnapshotRecorder()
+    recorder.record(engine)
+    recorder.reset()
+    assert len(recorder) == 0
+
+
+def test_metric_recorder_series_and_last():
+    engine = _engine()
+    recorder = MetricRecorder(metric=lambda eng: eng.count_of("L"), name="leaders")
+    assert recorder.last() is None
+    for _ in range(4):
+        engine.run(200)
+        recorder.record(engine)
+    series = recorder.series()
+    assert len(series) == 4
+    assert recorder.last() == series[-1][1]
+    # The slow protocol's leader count is non-increasing.
+    values = [value for _, value in series]
+    assert values == sorted(values, reverse=True)
+
+
+def test_metric_recorder_reset():
+    engine = _engine()
+    recorder = MetricRecorder(metric=lambda eng: 1.0)
+    recorder.record(engine)
+    recorder.reset()
+    assert recorder.series() == []
+
+
+def test_output_count_recorder():
+    engine = _engine()
+    recorder = OutputCountRecorder()
+    for _ in range(3):
+        engine.run(100)
+        recorder.record(engine)
+    leader_series = recorder.series_for("L")
+    follower_series = recorder.series_for("F")
+    assert len(leader_series) == len(follower_series) == 3
+    for (_, leaders), (_, followers) in zip(leader_series, follower_series):
+        assert leaders + followers == 32
+
+
+def test_output_count_recorder_reset():
+    engine = _engine()
+    recorder = OutputCountRecorder()
+    recorder.record(engine)
+    recorder.reset()
+    assert recorder.series_for("L") == []

@@ -1,0 +1,54 @@
+"""Tests for RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.rng import DEFAULT_SEED, make_rng, spawn_seeds
+
+
+def test_make_rng_from_int_is_reproducible():
+    a = make_rng(123).integers(0, 1_000_000, size=10)
+    b = make_rng(123).integers(0, 1_000_000, size=10)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_different_seeds_differ():
+    a = make_rng(1).integers(0, 1_000_000, size=10)
+    b = make_rng(2).integers(0, 1_000_000, size=10)
+    assert not np.array_equal(a, b)
+
+
+def test_make_rng_passes_through_generator():
+    generator = np.random.default_rng(5)
+    assert make_rng(generator) is generator
+
+
+def test_make_rng_none_uses_default_seed():
+    a = make_rng(None).integers(0, 1_000_000, size=5)
+    b = make_rng(DEFAULT_SEED).integers(0, 1_000_000, size=5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_seeds_deterministic():
+    assert spawn_seeds(99, 8) == spawn_seeds(99, 8)
+
+
+def test_spawn_seeds_distinct():
+    seeds = spawn_seeds(7, 64)
+    assert len(set(seeds)) == 64
+
+
+def test_spawn_seeds_count_zero():
+    assert spawn_seeds(1, 0) == []
+
+
+def test_spawn_seeds_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_seeds(1, -1)
+
+
+def test_spawn_seeds_are_uint32():
+    for seed in spawn_seeds(3, 16):
+        assert 0 <= seed < 2**32

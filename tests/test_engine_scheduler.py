@@ -1,0 +1,78 @@
+"""Tests for the random-pair scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.scheduler import PairSampler
+from repro.errors import ConfigurationError
+
+
+def test_rejects_population_below_two():
+    with pytest.raises(ConfigurationError):
+        PairSampler(1, rng=0)
+
+
+def test_rejects_bad_block_size():
+    with pytest.raises(ConfigurationError):
+        PairSampler(10, rng=0, block=0)
+
+
+def test_next_pair_returns_distinct_agents():
+    sampler = PairSampler(5, rng=1)
+    for _ in range(500):
+        a, b = sampler.next_pair()
+        assert a != b
+        assert 0 <= a < 5
+        assert 0 <= b < 5
+
+
+def test_pairs_iterator_length():
+    sampler = PairSampler(10, rng=2)
+    assert len(list(sampler.pairs(37))) == 37
+
+
+def test_pair_block_shapes_and_distinctness():
+    sampler = PairSampler(4, rng=3)
+    a, b = sampler.pair_block(10_000)
+    assert a.shape == b.shape == (10_000,)
+    assert np.all(a != b)
+    assert a.min() >= 0 and a.max() < 4
+
+
+def test_pair_block_is_reproducible_for_same_seed():
+    a1, b1 = PairSampler(100, rng=42).pair_block(1000)
+    a2, b2 = PairSampler(100, rng=42).pair_block(1000)
+    assert np.array_equal(a1, a2)
+    assert np.array_equal(b1, b2)
+
+
+def test_pair_distribution_is_roughly_uniform():
+    # Each ordered pair of distinct agents should appear with probability
+    # 1/(n(n-1)); with n=4 and 60k samples every agent should be responder
+    # about a quarter of the time.
+    sampler = PairSampler(4, rng=7)
+    a, _ = sampler.pair_block(60_000)
+    counts = np.bincount(a, minlength=4) / 60_000
+    assert np.allclose(counts, 0.25, atol=0.02)
+
+
+def test_ordered_pairs_cover_both_orders():
+    sampler = PairSampler(3, rng=11)
+    seen = set()
+    for _ in range(2000):
+        seen.add(sampler.next_pair())
+    # All 6 ordered pairs of a 3-agent population should occur.
+    assert len(seen) == 6
+
+
+def test_small_block_still_produces_pairs():
+    sampler = PairSampler(16, rng=0, block=4)
+    pairs = [sampler.next_pair() for _ in range(100)]
+    assert all(a != b for a, b in pairs)
+
+
+def test_generator_property_exposes_numpy_generator():
+    sampler = PairSampler(8, rng=0)
+    assert isinstance(sampler.generator, np.random.Generator)

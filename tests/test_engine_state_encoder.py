@@ -1,0 +1,73 @@
+"""Tests for :class:`repro.engine.state.StateEncoder`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.state import StateEncoder
+
+
+def test_encode_assigns_consecutive_ids():
+    encoder = StateEncoder()
+    assert encoder.encode("a") == 0
+    assert encoder.encode("b") == 1
+    assert encoder.encode("c") == 2
+
+
+def test_encode_is_idempotent():
+    encoder = StateEncoder()
+    first = encoder.encode(("x", 1))
+    second = encoder.encode(("x", 1))
+    assert first == second
+    assert len(encoder) == 1
+
+
+def test_decode_round_trip():
+    encoder = StateEncoder()
+    states = ["L", "F", ("tuple", 3), frozenset({1, 2})]
+    ids = [encoder.encode(state) for state in states]
+    assert [encoder.decode(i) for i in ids] == states
+
+
+def test_try_encode_returns_none_for_unknown():
+    encoder = StateEncoder()
+    encoder.encode("known")
+    assert encoder.try_encode("known") == 0
+    assert encoder.try_encode("unknown") is None
+
+
+def test_known_and_contains():
+    encoder = StateEncoder()
+    encoder.encode(42)
+    assert encoder.known(42)
+    assert 42 in encoder
+    assert 43 not in encoder
+
+
+def test_constructor_preregisters_states():
+    encoder = StateEncoder(["a", "b"])
+    assert len(encoder) == 2
+    assert encoder.try_encode("a") == 0
+    assert encoder.try_encode("b") == 1
+
+
+def test_iteration_and_states_follow_registration_order():
+    encoder = StateEncoder()
+    for state in ("z", "y", "x"):
+        encoder.encode(state)
+    assert list(encoder) == ["z", "y", "x"]
+    assert encoder.states() == ["z", "y", "x"]
+
+
+def test_items_yields_state_id_pairs():
+    encoder = StateEncoder()
+    encoder.encode("a")
+    encoder.encode("b")
+    assert dict(encoder.items()) == {"a": 0, "b": 1}
+
+
+def test_decode_out_of_range_raises():
+    encoder = StateEncoder()
+    encoder.encode("only")
+    with pytest.raises(IndexError):
+        encoder.decode(5)

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in errors.__all__:
+        exc_type = getattr(errors, name)
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(errors.ConfigurationError, ValueError)
+
+
+def test_simulation_error_is_runtime_error():
+    assert issubclass(errors.SimulationError, RuntimeError)
+
+
+def test_convergence_error_records_interactions():
+    exc = errors.ConvergenceError(1234, "still running")
+    assert exc.interactions == 1234
+    assert "1234" in str(exc)
+    assert "still running" in str(exc)
+
+
+def test_convergence_error_without_message():
+    exc = errors.ConvergenceError(10)
+    assert "10" in str(exc)
+
+
+def test_transition_error_includes_both_states():
+    exc = errors.TransitionError("responder-state", "initiator-state", "boom")
+    assert exc.responder == "responder-state"
+    assert exc.initiator == "initiator-state"
+    assert "boom" in str(exc)
+
+
+def test_errors_can_be_caught_as_base_class():
+    with pytest.raises(errors.ReproError):
+        raise errors.ExperimentError("nope")

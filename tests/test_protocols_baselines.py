@@ -1,0 +1,235 @@
+"""Tests for the baseline protocols (slow, lottery, GS18, majority, epidemic,
+standalone junta)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.engine import SequentialEngine
+from repro.engine.protocol import LEADER_OUTPUT
+from repro.engine.simulation import run_protocol
+from repro.errors import ConfigurationError
+from repro.protocols.approximate_majority import ApproximateMajority
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.exact_majority import ExactMajority
+from repro.protocols.gs18 import GS18LeaderElection
+from repro.protocols.junta_standalone import JuntaElection
+from repro.protocols.leader_election_base import candidate_count, single_candidate_convergence
+from repro.protocols.lottery import LotteryLeaderElection
+from repro.protocols.slow import SlowLeaderElection
+
+
+# ----------------------------------------------------------------------
+# Slow protocol
+# ----------------------------------------------------------------------
+def test_slow_protocol_rule():
+    protocol = SlowLeaderElection()
+    assert protocol.transition("L", "L") == ("F", "L")
+    assert protocol.transition("L", "F") == ("L", "F")
+    assert protocol.transition("F", "L") == ("F", "L")
+    assert protocol.output("L") == LEADER_OUTPUT
+
+
+def test_slow_protocol_elects_unique_leader():
+    result = run_protocol(SlowLeaderElection(), 64, seed=1, max_parallel_time=4000)
+    assert result.converged and result.leader_count == 1
+    assert result.states_used == 2
+
+
+# ----------------------------------------------------------------------
+# Lottery protocol
+# ----------------------------------------------------------------------
+def test_lottery_for_population_ticket_cap():
+    protocol = LotteryLeaderElection.for_population(1024)
+    assert protocol.max_ticket == 20
+
+
+def test_lottery_rejects_bad_cap():
+    with pytest.raises(ConfigurationError):
+        LotteryLeaderElection(max_ticket=0)
+
+
+def test_lottery_elects_unique_leader():
+    n = 128
+    protocol = LotteryLeaderElection.for_population(n)
+    result = run_protocol(protocol, n, seed=3, max_parallel_time=20000)
+    assert result.converged and result.leader_count == 1
+
+
+def test_lottery_state_usage_grows_with_log_n():
+    small = run_protocol(
+        LotteryLeaderElection.for_population(64), 64, seed=1, max_parallel_time=20000
+    )
+    large = run_protocol(
+        LotteryLeaderElection.for_population(512), 512, seed=1, max_parallel_time=40000
+    )
+    assert large.states_used > small.states_used
+
+
+def test_lottery_followers_are_normalised():
+    protocol = LotteryLeaderElection(max_ticket=4)
+    engine = SequentialEngine(protocol, 64, rng=0)
+    engine.run_parallel_time(50)
+    for state in engine.distinct_states():
+        if not state.candidate:
+            assert state.ticket == 0
+            assert state.growing is False
+
+
+# ----------------------------------------------------------------------
+# GS18
+# ----------------------------------------------------------------------
+def test_gs18_builds_with_higher_phi_than_gsu():
+    from repro.core.params import GSUParams
+
+    base = GSUParams.from_population_size(1024)
+    protocol = GS18LeaderElection.for_population(1024)
+    assert protocol.params.phi == base.phi + 3
+
+
+def test_gs18_elects_unique_leader():
+    n = 256
+    protocol = GS18LeaderElection.for_population(n)
+    result = run_protocol(protocol, n, seed=2, max_parallel_time=20000)
+    assert result.converged and result.leader_count == 1
+
+
+def test_gs18_junta_is_small_but_nonempty():
+    n = 512
+    protocol = GS18LeaderElection.for_population(n)
+    engine = SequentialEngine(protocol, n, rng=4)
+    engine.run_parallel_time(60)
+    junta = engine.count_where(protocol.is_junta_member)
+    assert 1 <= junta < n / 2
+
+
+def test_gs18_phase_accessor():
+    protocol = GS18LeaderElection.for_population(256)
+    state = protocol.initial_state(256)
+    assert protocol.phase_of(state) == 0
+
+
+# ----------------------------------------------------------------------
+# Approximate majority
+# ----------------------------------------------------------------------
+def test_approximate_majority_rules():
+    protocol = ApproximateMajority()
+    assert protocol.transition("A", "B") == ("blank", "B")
+    assert protocol.transition("B", "A") == ("blank", "A")
+    assert protocol.transition("blank", "A") == ("A", "A")
+    assert protocol.transition("blank", "B") == ("B", "B")
+    assert protocol.transition("A", "A") == ("A", "A")
+
+
+def test_approximate_majority_initial_split():
+    protocol = ApproximateMajority(initial_a_fraction=0.7)
+    configuration = protocol.initial_configuration(10)
+    assert configuration.count("A") == 7
+    assert configuration.count("B") == 3
+
+
+def test_approximate_majority_rejects_bad_fraction():
+    with pytest.raises(ConfigurationError):
+        ApproximateMajority(initial_a_fraction=1.5)
+
+
+def test_approximate_majority_converges_to_majority():
+    protocol = ApproximateMajority(initial_a_fraction=0.8)
+    engine = SequentialEngine(protocol, 256, rng=1)
+    engine.run_parallel_time(100)
+    counts = engine.counts_by_output()
+    assert protocol.consensus_reached(counts)
+    assert counts.get("A", 0) == 256
+
+
+# ----------------------------------------------------------------------
+# Exact majority
+# ----------------------------------------------------------------------
+def test_exact_majority_rules():
+    protocol = ExactMajority(initial_a=3, initial_b=2)
+    assert protocol.transition("A", "B") == ("a", "b")
+    assert protocol.transition("B", "A") == ("b", "a")
+    assert protocol.transition("a", "B") == ("b", "B")
+    assert protocol.transition("b", "A") == ("a", "A")
+    assert protocol.transition("a", "b") == ("a", "b")
+
+
+def test_exact_majority_configuration_validation():
+    protocol = ExactMajority(initial_a=3, initial_b=2)
+    with pytest.raises(ConfigurationError):
+        protocol.initial_configuration(10)
+
+
+def test_exact_majority_reports_true_majority():
+    n = 200
+    protocol = ExactMajority.for_population(n, a_fraction=0.6)
+    engine = SequentialEngine(protocol, n, rng=2)
+    engine.run_parallel_time(400)
+    assert protocol.majority_output(engine.counts_by_output()) == "A"
+
+
+def test_exact_majority_minority_never_wins():
+    n = 100
+    protocol = ExactMajority.for_population(n, a_fraction=0.3)
+    engine = SequentialEngine(protocol, n, rng=3)
+    engine.run_parallel_time(400)
+    assert protocol.majority_output(engine.counts_by_output()) in ("B", "tie")
+
+
+# ----------------------------------------------------------------------
+# Epidemic
+# ----------------------------------------------------------------------
+def test_epidemic_validation():
+    with pytest.raises(ConfigurationError):
+        OneWayEpidemic(sources=0)
+    with pytest.raises(ConfigurationError):
+        OneWayEpidemic(sources=10).initial_configuration(5)
+
+
+def test_epidemic_monotone_growth():
+    protocol = OneWayEpidemic(sources=1)
+    engine = SequentialEngine(protocol, 128, rng=0)
+    previous = 1
+    for _ in range(20):
+        engine.run_parallel_time(2)
+        current = protocol.informed_count(engine.state_counts())
+        assert current >= previous
+        previous = current
+
+
+def test_epidemic_helpers():
+    assert OneWayEpidemic.informed_count({"informed": 5, "susceptible": 3}) == 5
+    assert OneWayEpidemic.fully_informed({"informed": 5}) is True
+    assert OneWayEpidemic.fully_informed({"informed": 5, "susceptible": 1}) is False
+
+
+# ----------------------------------------------------------------------
+# Standalone junta election
+# ----------------------------------------------------------------------
+def test_junta_election_validation():
+    with pytest.raises(ConfigurationError):
+        JuntaElection(phi=0)
+    with pytest.raises(ConfigurationError):
+        JuntaElection(phi=1, coin_fraction=0.0)
+
+
+def test_junta_election_histogram_and_size():
+    n = 512
+    protocol = JuntaElection.for_population(n, coin_fraction=0.25)
+    engine = SequentialEngine(protocol, n, rng=1)
+    engine.run_parallel_time(60)
+    counts = engine.state_counts()
+    histogram = protocol.level_histogram(counts)
+    assert sum(histogram.values()) == pytest.approx(0.25 * n, abs=1)
+    junta = protocol.junta_size(counts)
+    assert 0 < junta < 0.25 * n
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def test_candidate_count_and_convergence_helper(slow_engine):
+    assert candidate_count(slow_engine) == slow_engine.n
+    predicate = single_candidate_convergence(SlowLeaderElection())
+    assert "slow-leader-election" in predicate.description
+    assert predicate(slow_engine) is False

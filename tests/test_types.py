@@ -1,0 +1,37 @@
+"""Tests for the shared enums in :mod:`repro.types`."""
+
+from __future__ import annotations
+
+from repro.types import ClockMode, CoinMode, Elevation, Flip, LeaderMode, Role
+
+
+def test_role_members_are_distinct():
+    values = [role.value for role in Role]
+    assert len(values) == len(set(values))
+
+
+def test_role_contains_three_working_subpopulations():
+    assert {Role.COIN, Role.INHIBITOR, Role.LEADER} <= set(Role)
+
+
+def test_leader_mode_has_three_modes():
+    assert {LeaderMode.ACTIVE, LeaderMode.PASSIVE, LeaderMode.WITHDRAWN} == set(LeaderMode)
+
+
+def test_flip_has_none_heads_tails():
+    assert {Flip.NONE, Flip.HEADS, Flip.TAILS} == set(Flip)
+
+
+def test_enums_are_int_enums_and_hashable():
+    # Engines hash states containing these enums millions of times; they must
+    # be cheap, order-stable integers.
+    for enum_type in (Role, LeaderMode, CoinMode, Elevation, Flip, ClockMode):
+        for member in enum_type:
+            assert isinstance(member.value, int)
+            assert hash(member) == hash(member.value) or isinstance(hash(member), int)
+
+
+def test_coin_mode_and_elevation_binary():
+    assert len(CoinMode) == 2
+    assert len(Elevation) == 2
+    assert len(ClockMode) == 2

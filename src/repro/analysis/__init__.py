@@ -17,9 +17,12 @@ provides
 """
 
 from repro.analysis.stats import (
+    KSResult,
     SampleSummary,
     bootstrap_mean_ci,
+    ks_two_sample,
     quantile,
+    quantile_profile_distance,
     summarize,
 )
 from repro.analysis.scaling import (
@@ -43,6 +46,9 @@ __all__ = [
     "summarize",
     "quantile",
     "bootstrap_mean_ci",
+    "KSResult",
+    "ks_two_sample",
+    "quantile_profile_distance",
     "GrowthModel",
     "GROWTH_MODELS",
     "FitResult",

@@ -19,7 +19,15 @@ import numpy as np
 from repro.engine.rng import make_rng
 from repro.errors import ConfigurationError
 
-__all__ = ["SampleSummary", "summarize", "quantile", "bootstrap_mean_ci"]
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "quantile",
+    "bootstrap_mean_ci",
+    "KSResult",
+    "ks_two_sample",
+    "quantile_profile_distance",
+]
 
 
 @dataclass(frozen=True)
@@ -99,3 +107,86 @@ def bootstrap_mean_ci(
         float(np.quantile(means, alpha)),
         float(np.quantile(means, 1.0 - alpha)),
     )
+
+
+# ----------------------------------------------------------------------
+# Two-sample distribution comparison (engine equivalence testing)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KSResult:
+    """Two-sample Kolmogorov–Smirnov comparison.
+
+    ``approximate`` is ``True`` when the p-value comes from the asymptotic
+    Kolmogorov distribution (SciPy unavailable) rather than SciPy's
+    small-sample computation.
+    """
+
+    statistic: float
+    pvalue: float
+    approximate: bool
+
+
+def ks_two_sample(x: Sequence[float], y: Sequence[float]) -> KSResult:
+    """Two-sample KS test: are ``x`` and ``y`` drawn from one distribution?
+
+    Uses :func:`scipy.stats.ks_2samp` when SciPy is importable; otherwise
+    computes the statistic with NumPy and the p-value from the asymptotic
+    Kolmogorov distribution (adequate for the sample sizes the engine
+    equivalence suite uses, n >= ~50 per side).
+    """
+    a = np.sort(np.asarray(list(x), dtype=np.float64))
+    b = np.sort(np.asarray(list(y), dtype=np.float64))
+    if a.size == 0 or b.size == 0:
+        raise ConfigurationError("KS test requires two non-empty samples")
+    try:
+        from scipy import stats as _scipy_stats
+    except ImportError:
+        _scipy_stats = None
+    if _scipy_stats is not None:
+        outcome = _scipy_stats.ks_2samp(a, b)
+        return KSResult(float(outcome.statistic), float(outcome.pvalue), False)
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    statistic = float(np.abs(cdf_a - cdf_b).max())
+    if statistic == 0.0:
+        # The asymptotic series below would evaluate to 0 at lam = 0 (its
+        # terms all become 1 and the alternating sum cancels), which is the
+        # exact opposite of the truth for identical samples.
+        return KSResult(0.0, 1.0, True)
+    effective = math.sqrt(a.size * b.size / (a.size + b.size))
+    lam = (effective + 0.12 + 0.11 / effective) * statistic
+    terms = np.arange(1, 101, dtype=np.float64)
+    pvalue = float(2.0 * np.sum((-1.0) ** (terms - 1) * np.exp(-2.0 * (terms * lam) ** 2)))
+    return KSResult(statistic, min(max(pvalue, 0.0), 1.0), True)
+
+
+def quantile_profile_distance(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> float:
+    """Largest quantile gap between two samples, in pooled-spread units.
+
+    A crude but dependency-free alternative to the KS test: compares the two
+    samples' quantile profiles and scales the largest absolute gap by the
+    pooled interquartile range (falling back to the pooled standard
+    deviation, then to the pooled mean magnitude, for degenerate samples).
+    Values well below 1 mean the profiles are close relative to the
+    distribution's own spread.
+    """
+    a = np.asarray(list(x), dtype=np.float64)
+    b = np.asarray(list(y), dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ConfigurationError("quantile comparison requires two non-empty samples")
+    pooled = np.concatenate([a, b])
+    scale = float(np.quantile(pooled, 0.75) - np.quantile(pooled, 0.25))
+    if scale <= 0.0:
+        scale = float(pooled.std())
+    if scale <= 0.0:
+        scale = max(float(np.abs(pooled).mean()), 1.0)
+    gaps = [
+        abs(float(np.quantile(a, q)) - float(np.quantile(b, q))) for q in quantiles
+    ]
+    return max(gaps) / scale

@@ -10,15 +10,20 @@ Run the reproduction experiments from a terminal::
 The ``--preset`` option selects one of the
 :class:`~repro.experiments.config.ExperimentConfig` presets (``smoke``,
 ``default``, ``large``); individual sweep parameters can be overridden with
-``--sizes``, ``--repetitions`` and ``--budget``.
+``--sizes``, ``--repetitions`` and ``--budget``.  ``--engine`` picks the
+simulation engine (``sequential``, ``count``, ``fastbatch``, ``batch``) or
+``auto`` to dispatch on population size — see the engine selection guide in
+:mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
+from repro.engine.dispatch import ENGINE_NAMES
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.io import write_result
 from repro.experiments.registry import available_experiments, run_experiment
@@ -73,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="override the per-run parallel-time budget",
         )
         sub.add_argument(
+            "--engine",
+            choices=list(ENGINE_NAMES),
+            default=None,
+            help=(
+                "simulation engine to run on (default: the preset's engine, "
+                "i.e. sequential); 'auto' dispatches per population size"
+            ),
+        )
+        sub.add_argument(
             "--output",
             type=str,
             default=None,
@@ -102,13 +116,9 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     if args.repetitions:
         config = config.with_repetitions(args.repetitions)
     if args.budget:
-        config = ExperimentConfig(
-            population_sizes=config.population_sizes,
-            repetitions=config.repetitions,
-            base_seed=config.base_seed,
-            max_parallel_time=args.budget,
-            slow_protocol_max_n=config.slow_protocol_max_n,
-        )
+        config = replace(config, max_parallel_time=args.budget)
+    if getattr(args, "engine", None):
+        config = config.with_engine(args.engine)
     return config
 
 

@@ -1,0 +1,153 @@
+"""Optional C hot-path kernel for the exact batched engine.
+
+:mod:`repro.engine.fast_batch` applies pre-sampled interaction blocks either
+through its vectorised NumPy wave schedule or — when a working C compiler is
+available — through the tiny C kernel below, which executes the block in
+strict sequential order against the packed transition lookup table.  The C
+path needs no collision analysis at all (it *is* the sequential semantics,
+just without the interpreter), runs at a few nanoseconds per interaction,
+and is bit-for-bit identical to both the NumPy path and
+:class:`~repro.engine.engine.SequentialEngine`.
+
+The kernel is compiled once per source digest with the system ``cc`` into
+``_kernel_build/`` next to this module (an ignored build directory) and
+cached across runs; compilation is attempted lazily on first use and every
+failure — no compiler, sandboxed filesystem, exotic platform — silently
+falls back to the NumPy path.  Set ``REPRO_NO_C_KERNEL=1`` to force the
+fallback (the test suite uses this to pin the NumPy path's exactness).
+
+The function contract mirrors the engine's miss-handling loop: the kernel
+applies interactions until it hits a state pair whose LUT entry is still
+``-1`` and returns that interaction's index; the caller evaluates the pair
+in Python (registering new states exactly as the scalar engines do) and
+resumes.  Misses are a per-state-pair one-time cost, so the loop almost
+always completes in a single call.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["load_kernel", "kernel_available"]
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Apply population-protocol interactions in strict sequential order.
+ *
+ * states     : per-agent state identifiers (int32, mutated in place)
+ * responders : agent index of the responder of each interaction (int64)
+ * initiators : agent index of the initiator of each interaction (int64)
+ * n_pairs    : number of interactions in the block
+ * start      : index to resume from
+ * lut        : flattened (cap x cap) table; entry r*cap + i holds
+ *              (new_r << 32) | new_i, or a negative value when the pair
+ *              has not been evaluated yet
+ * cap        : side length of the lookup table
+ *
+ * Returns the index of the first interaction whose state pair is missing
+ * from the table (the caller evaluates it and resumes), or n_pairs once
+ * the whole block has been applied.
+ */
+int64_t repro_apply_block(
+    int32_t *states,
+    const int64_t *responders,
+    const int64_t *initiators,
+    int64_t n_pairs,
+    int64_t start,
+    const int64_t *lut,
+    int64_t cap)
+{
+    for (int64_t t = start; t < n_pairs; t++) {
+        int64_t agent_r = responders[t];
+        int64_t agent_i = initiators[t];
+        int64_t packed = lut[(int64_t)states[agent_r] * cap + states[agent_i]];
+        if (packed < 0) {
+            return t;
+        }
+        states[agent_r] = (int32_t)(packed >> 32);
+        states[agent_i] = (int32_t)(packed & 0xFFFFFFFF);
+    }
+    return n_pairs;
+}
+"""
+
+_kernel: Optional[ctypes.CFUNCTYPE] = None
+_load_attempted = False
+
+
+def _compile(build_dir: Path) -> Path:
+    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
+    lib_path = build_dir / f"repro_kernel_{digest}.so"
+    if lib_path.exists():
+        return lib_path
+    compiler = shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        raise RuntimeError("no C compiler on PATH")
+    build_dir.mkdir(exist_ok=True)
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".c", dir=build_dir, delete=False
+    ) as handle:
+        handle.write(_SOURCE)
+        c_path = handle.name
+    so_path = c_path[:-2] + ".so"
+    try:
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", so_path, c_path],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        # Atomic publish so concurrent workers never load a half-written lib.
+        os.replace(so_path, lib_path)
+    finally:
+        for leftover in (c_path, so_path):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+    return lib_path
+
+
+def load_kernel():
+    """The compiled block-apply function, or ``None`` when unavailable.
+
+    The first call pays the (cached) compilation; subsequent calls are a
+    module-global read.  Never raises.
+    """
+    global _kernel, _load_attempted
+    if _load_attempted:
+        return _kernel
+    _load_attempted = True
+    if os.environ.get("REPRO_NO_C_KERNEL"):
+        return None
+    try:
+        lib_path = _compile(Path(__file__).resolve().parent / "_kernel_build")
+        library = ctypes.CDLL(str(lib_path))
+        function = library.repro_apply_block
+        function.restype = ctypes.c_int64
+        function.argtypes = [
+            ctypes.c_void_p,  # states
+            ctypes.c_void_p,  # responders
+            ctypes.c_void_p,  # initiators
+            ctypes.c_int64,  # n_pairs
+            ctypes.c_int64,  # start
+            ctypes.c_void_p,  # lut
+            ctypes.c_int64,  # cap
+        ]
+        _kernel = function
+    except Exception:
+        _kernel = None
+    return _kernel
+
+
+def kernel_available() -> bool:
+    """Whether the C hot path can be used in this environment."""
+    return load_kernel() is not None

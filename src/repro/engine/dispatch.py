@@ -1,0 +1,146 @@
+"""Engine selection: registry of named engines and the auto-dispatcher.
+
+Every entry point that runs a simulation (``Simulation`` / ``run_protocol``,
+``run_many``, the experiment runner, the CLI) accepts an *engine
+specification*: an engine class, one of the registry names below, or
+``"auto"``.  :func:`resolve_engine` normalises all three to a concrete
+engine class; :func:`auto_engine` implements the ``"auto"`` policy.
+
+Selection policy (see the measured crossovers in ``BENCH_engine.json``):
+
+* ``SequentialEngine`` — per-agent Python loop with memoised transitions.
+  Lowest constant factors among the pure-Python paths; the fastest exact
+  engine for small populations when no C compiler is available.
+* ``FastBatchEngine`` — exact batching.  With its compiled C kernel
+  (available whenever the system has a C compiler, see
+  :mod:`repro.engine._ckernel`) it beats the sequential engine by an order
+  of magnitude at *every* population size, so the dispatcher prefers it
+  from a few hundred agents up.  Without the kernel it falls back to
+  collision-aware NumPy batching, which overtakes the sequential engine
+  around ``5 * 10^4`` agents (collision-free runs lengthen like
+  ``sqrt(n)``, so its advantage grows with ``n``).
+* ``CountEngine`` — exact, but ``O(k)`` *memory* instead of ``O(n)``.
+  Selected only when the population is so large that per-agent arrays are
+  themselves a burden and the protocol declares a small canonical state
+  space.  It is never the throughput winner.
+* ``BatchEngine`` — approximate multinomial batching.  Never auto-selected:
+  the dispatcher only chooses among exact engines.  Request it explicitly
+  (``engine="batch"``) for quick exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type, Union
+
+from repro.engine._ckernel import kernel_available
+from repro.engine.base import BaseEngine
+from repro.engine.batch_engine import BatchEngine
+from repro.engine.count_engine import CountEngine
+from repro.engine.engine import SequentialEngine
+from repro.engine.fast_batch import FastBatchEngine
+from repro.engine.protocol import PopulationProtocol
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ENGINE_REGISTRY",
+    "ENGINE_NAMES",
+    "EngineSpec",
+    "auto_engine",
+    "resolve_engine",
+    "state_space_size",
+]
+
+#: Named engines accepted everywhere an engine specification is taken.
+ENGINE_REGISTRY: Dict[str, Type[BaseEngine]] = {
+    "sequential": SequentialEngine,
+    "count": CountEngine,
+    "batch": BatchEngine,
+    "fastbatch": FastBatchEngine,
+}
+
+#: Registry names plus the ``"auto"`` policy, for CLI choices and validation.
+ENGINE_NAMES = tuple(sorted(ENGINE_REGISTRY)) + ("auto",)
+
+EngineSpec = Union[str, Type[BaseEngine], None]
+
+#: Population size above which the exact batched engine beats the sequential
+#: one *without* the C kernel, i.e. on its NumPy wave path (measured on the
+#: epidemic and GSU19 workloads; see BENCH_engine.json).
+_FASTBATCH_MIN_N = 50_000
+
+#: Crossover when the C kernel compiled: the batched engine then wins by an
+#: order of magnitude at every size, so only trivial populations (where the
+#: choice is irrelevant) keep the reference engine.
+_FASTBATCH_MIN_N_CKERNEL = 256
+
+#: Population size above which O(n) per-agent arrays are considered a memory
+#: burden, making the O(k)-memory count engine attractive ...
+_COUNT_MEMORY_MIN_N = 1 << 27
+
+#: ... provided the protocol declares at most this many canonical states
+#: (the count engine's per-step cost is linear in the state-space size).
+_COUNT_MAX_STATES = 64
+
+
+def state_space_size(protocol: PopulationProtocol) -> Optional[int]:
+    """Number of canonical states the protocol declares, or ``None``.
+
+    ``None`` means the protocol discovers its state space lazily, in which
+    case the dispatcher assumes it is too large for count-based simulation.
+    """
+    canonical = protocol.canonical_states()
+    if canonical is None:
+        return None
+    return sum(1 for _ in canonical)
+
+
+def auto_engine(protocol: PopulationProtocol, n: int) -> Type[BaseEngine]:
+    """Select the fastest *exact* engine for ``(protocol, n)``.
+
+    The policy is a measured throughput/memory trade-off, documented in
+    this module's docstring; approximate engines are never returned.
+    """
+    if n >= _COUNT_MEMORY_MIN_N:
+        states = state_space_size(protocol)
+        if states is not None and states <= _COUNT_MAX_STATES:
+            return CountEngine
+    threshold = _FASTBATCH_MIN_N_CKERNEL if kernel_available() else _FASTBATCH_MIN_N
+    if n >= threshold:
+        return FastBatchEngine
+    return SequentialEngine
+
+
+def resolve_engine(
+    engine: EngineSpec,
+    protocol: Optional[PopulationProtocol] = None,
+    n: Optional[int] = None,
+) -> Type[BaseEngine]:
+    """Normalise an engine specification to an engine class.
+
+    ``None`` keeps the historical default (the sequential reference engine),
+    a :class:`~repro.engine.base.BaseEngine` subclass is returned unchanged,
+    and a string is looked up in :data:`ENGINE_REGISTRY` — with ``"auto"``
+    delegating to :func:`auto_engine`, which requires ``protocol`` and ``n``.
+    """
+    if engine is None:
+        return SequentialEngine
+    if isinstance(engine, type) and issubclass(engine, BaseEngine):
+        return engine
+    if isinstance(engine, str):
+        name = engine.lower()
+        if name == "auto":
+            if protocol is None or n is None:
+                raise ConfigurationError(
+                    "engine='auto' needs a protocol and a population size to dispatch on"
+                )
+            return auto_engine(protocol, n)
+        try:
+            return ENGINE_REGISTRY[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
+                "or an engine class"
+            ) from None
+    raise ConfigurationError(
+        f"engine specification must be a name or an engine class, got {engine!r}"
+    )

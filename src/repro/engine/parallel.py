@@ -5,6 +5,12 @@ population sizes.  :func:`run_many` executes such a sweep either serially or
 on a process pool.  Protocol *factories* (rather than protocol instances) are
 passed around so that each worker builds its own protocol — protocols carry
 parameter objects derived from ``n`` and are cheap to construct.
+
+The engine is an explicit sweep parameter: pass ``engine="auto"`` to let
+:func:`repro.engine.dispatch.auto_engine` pick the fastest exact engine per
+population size (the choice can differ between the sizes of one sweep).
+Engine names and classes both pickle, so the parameter survives the process
+pool untouched.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.engine.convergence import ConvergencePredicate
+from repro.engine.dispatch import EngineSpec
 from repro.engine.rng import spawn_seeds
 from repro.engine.simulation import RunResult, run_protocol
 from repro.errors import ConfigurationError
@@ -41,6 +48,7 @@ def _run_single(
     seed: int,
     max_parallel_time: float,
     convergence_factory: Optional[ConvergenceFactory],
+    engine: EngineSpec,
     run_kwargs: Dict[str, object],
 ) -> SweepPoint:
     protocol = factory(n)
@@ -51,6 +59,7 @@ def _run_single(
         seed=seed,
         max_parallel_time=max_parallel_time,
         convergence=convergence,
+        engine_cls=engine,
         **run_kwargs,
     )
     return SweepPoint(n=n, seed=seed, result=result)
@@ -65,6 +74,7 @@ def run_many(
     max_parallel_time: float = 1024.0,
     convergence_factory: Optional[ConvergenceFactory] = None,
     workers: Optional[int] = None,
+    engine: EngineSpec = None,
     **run_kwargs: object,
 ) -> List[SweepPoint]:
     """Run ``factory(n)`` for every ``n`` and ``repetitions`` seeds each.
@@ -89,6 +99,10 @@ def run_many(
         pool with that many workers.  Serial execution is the default because
         individual runs are already long relative to scheduling overhead and
         serial mode keeps tracebacks simple.
+    engine:
+        Engine specification — a name, ``"auto"``, an engine class, or
+        ``None`` for the default sequential engine (see
+        :func:`repro.engine.dispatch.resolve_engine`).
     run_kwargs:
         Forwarded to :func:`repro.engine.simulation.run_protocol`.
 
@@ -114,7 +128,13 @@ def run_many(
     if workers <= 1:
         return [
             _run_single(
-                factory, n, seed, max_parallel_time, convergence_factory, dict(run_kwargs)
+                factory,
+                n,
+                seed,
+                max_parallel_time,
+                convergence_factory,
+                engine,
+                dict(run_kwargs),
             )
             for n, seed in jobs
         ]
@@ -130,6 +150,7 @@ def run_many(
                 seed,
                 max_parallel_time,
                 convergence_factory,
+                engine,
                 dict(run_kwargs),
             )
             for n, seed in jobs

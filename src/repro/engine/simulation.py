@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Type, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.engine.base import BaseEngine
 from repro.engine.convergence import ConvergencePredicate, SingleLeader
+from repro.engine.dispatch import EngineSpec, resolve_engine
 from repro.engine.engine import SequentialEngine
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.recorder import Recorder
@@ -96,7 +97,7 @@ class Simulation:
         n: int,
         *,
         rng: RngLike = None,
-        engine_cls: Type[BaseEngine] = SequentialEngine,
+        engine_cls: EngineSpec = SequentialEngine,
         engine_kwargs: Optional[dict] = None,
         convergence: Optional[ConvergencePredicate] = None,
         recorders: Optional[Sequence[Recorder]] = None,
@@ -106,7 +107,8 @@ class Simulation:
         self.n = int(n)
         self.seed = rng if isinstance(rng, int) else None
         engine_kwargs = dict(engine_kwargs or {})
-        self.engine: BaseEngine = engine_cls(protocol, n, rng, **engine_kwargs)
+        resolved_cls = resolve_engine(engine_cls, protocol, self.n)
+        self.engine: BaseEngine = resolved_cls(protocol, n, rng, **engine_kwargs)
         self.convergence = convergence if convergence is not None else SingleLeader()
         self.recorders: List[Recorder] = list(recorders or [])
         self.check_every = check_every
@@ -186,12 +188,16 @@ def run_protocol(
     max_parallel_time: float = 1024.0,
     convergence: Optional[ConvergencePredicate] = None,
     recorders: Optional[Sequence[Recorder]] = None,
-    engine_cls: Type[BaseEngine] = SequentialEngine,
+    engine_cls: EngineSpec = SequentialEngine,
     engine_kwargs: Optional[dict] = None,
     check_every: Optional[int] = None,
     raise_on_budget: bool = False,
 ) -> RunResult:
     """Run ``protocol`` on ``n`` agents and return the :class:`RunResult`.
+
+    ``engine_cls`` accepts an engine class, a registry name (``"sequential"``,
+    ``"count"``, ``"batch"``, ``"fastbatch"``) or ``"auto"`` to dispatch on
+    ``(protocol, n)`` — see :mod:`repro.engine.dispatch`.
 
     This is the main one-call entry point of the simulation substrate::
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Sequence
 
+from repro.engine.dispatch import ENGINE_NAMES
 from repro.errors import ConfigurationError
 
 __all__ = ["ExperimentConfig"]
@@ -38,6 +39,11 @@ class ExperimentConfig:
     #: Cap applied to population sizes for Θ(n)-time protocols so that the
     #: slow baselines do not dominate the harness's wall-clock time.
     slow_protocol_max_n: int = 1024
+    #: Engine specification forwarded to every run: a registry name or
+    #: ``"auto"`` (see the engine selection guide in :mod:`repro.engine`).
+    #: The default stays the sequential reference engine so recorded numbers
+    #: remain reproducible run-over-run.
+    engine: str = "sequential"
 
     def __post_init__(self) -> None:
         if not self.population_sizes:
@@ -53,6 +59,10 @@ class ExperimentConfig:
         if self.max_parallel_time <= 0:
             raise ConfigurationError(
                 f"max_parallel_time must be positive, got {self.max_parallel_time}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigurationError(
+                f"engine must be one of {ENGINE_NAMES}, got {self.engine!r}"
             )
 
     # ------------------------------------------------------------------
@@ -101,3 +111,7 @@ class ExperimentConfig:
     def with_repetitions(self, repetitions: int) -> "ExperimentConfig":
         """Copy of the configuration with a different repetition count."""
         return replace(self, repetitions=int(repetitions))
+
+    def with_engine(self, engine: str) -> "ExperimentConfig":
+        """Copy of the configuration with a different engine specification."""
+        return replace(self, engine=str(engine))

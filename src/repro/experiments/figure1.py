@@ -23,7 +23,7 @@ from repro.coins.analysis import coin_level_histogram, junta_bounds
 from repro.core.protocol import GSULeaderElection
 from repro.core.theory import predicted_level_counts
 from repro.engine.convergence import AllAgentsSatisfy
-from repro.engine.engine import SequentialEngine
+from repro.engine.dispatch import EngineSpec, resolve_engine
 from repro.engine.rng import spawn_seeds
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, timed
@@ -41,7 +41,9 @@ def _preprocessing_finished(state) -> bool:
     return True
 
 
-def coin_census_after_preprocessing(n: int, seed: int, *, max_parallel_time: float):
+def coin_census_after_preprocessing(
+    n: int, seed: int, *, max_parallel_time: float, engine: EngineSpec = None
+):
     """Run the protocol until coin preprocessing has settled; return the census.
 
     "Settled" means every agent has received its role (or deactivated) and no
@@ -49,7 +51,7 @@ def coin_census_after_preprocessing(n: int, seed: int, *, max_parallel_time: flo
     coin stratification.
     """
     protocol = GSULeaderElection.for_population(n)
-    engine = SequentialEngine(protocol, n, rng=seed)
+    engine = resolve_engine(engine, protocol, n)(protocol, n, rng=seed)
     predicate = AllAgentsSatisfy(
         _preprocessing_finished, "roles fixed and coin levels final"
     )
@@ -94,7 +96,10 @@ def run_figure1(config: ExperimentConfig) -> ExperimentResult:
             phi = None
             for _ in range(config.repetitions):
                 params, observation = coin_census_after_preprocessing(
-                    n, seeds[cursor], max_parallel_time=config.max_parallel_time
+                    n,
+                    seeds[cursor],
+                    max_parallel_time=config.max_parallel_time,
+                    engine=config.engine,
                 )
                 cursor += 1
                 phi = params.phi

@@ -92,6 +92,7 @@ def run_figure2(config: ExperimentConfig) -> ExperimentResult:
                 max_parallel_time=config.max_parallel_time,
                 recorder_factory=lambda: [FastEliminationTracker()],
                 check_every=max(1, n // 2),
+                engine=config.engine,
             )
             params = GSUParams.from_population_size(n)
             idealised = idealised_survivor_series(n, params)

@@ -22,7 +22,7 @@ from repro.analysis.stats import summarize
 from repro.core.monitor import DragTickTracker, inhibitor_drag_census
 from repro.core.protocol import GSULeaderElection
 from repro.core.theory import predicted_drag_group_sizes
-from repro.engine.engine import SequentialEngine
+from repro.engine.dispatch import EngineSpec, resolve_engine
 from repro.engine.rng import spawn_seeds
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, convergence_for, timed
@@ -31,11 +31,13 @@ from repro.engine.simulation import run_protocol
 __all__ = ["run_figure3", "measure_inhibitor_groups"]
 
 
-def measure_inhibitor_groups(n: int, seed: int, *, parallel_time: float = 200.0) -> Dict[int, int]:
+def measure_inhibitor_groups(
+    n: int, seed: int, *, parallel_time: float = 200.0, engine: EngineSpec = None
+) -> Dict[int, int]:
     """Run the protocol long enough for inhibitor preprocessing to settle and
     return the drag census (Lemma 7.1's ``D_ℓ``)."""
     protocol = GSULeaderElection.for_population(n)
-    engine = SequentialEngine(protocol, n, rng=seed)
+    engine = resolve_engine(engine, protocol, n)(protocol, n, rng=seed)
     engine.run_parallel_time(parallel_time)
     return inhibitor_drag_census(engine)
 
@@ -89,11 +91,15 @@ def run_figure3(config: ExperimentConfig) -> ExperimentResult:
                     convergence=convergence_for(protocol),
                     recorders=[tracker],
                     check_every=max(1, n // 2),
+                    engine_cls=config.engine,
                 )
                 for level, interval in tracker.tick_intervals().items():
                     tick_samples.setdefault(level, []).append(interval)
                 for level, count in measure_inhibitor_groups(
-                    n, seed + 1, parallel_time=min(200.0, config.max_parallel_time)
+                    n,
+                    seed + 1,
+                    parallel_time=min(200.0, config.max_parallel_time),
+                    engine=config.engine,
                 ).items():
                     group_samples.setdefault(level, []).append(count)
 

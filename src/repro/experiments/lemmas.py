@@ -31,8 +31,9 @@ from repro.coins.analysis import coin_level_histogram, junta_bounds
 from repro.core.monitor import inhibitor_drag_census, role_census, uninitialised_count
 from repro.core.protocol import GSULeaderElection
 from repro.core.theory import predicted_drag_group_sizes
+from repro.engine.base import BaseEngine
 from repro.engine.convergence import OutputCountCondition
-from repro.engine.engine import SequentialEngine
+from repro.engine.dispatch import EngineSpec, resolve_engine
 from repro.engine.recorder import MetricRecorder
 from repro.engine.rng import make_rng, spawn_seeds
 from repro.experiments.config import ExperimentConfig
@@ -49,11 +50,13 @@ __all__ = [
 ]
 
 
-def _settled_engine(n: int, seed: int, max_parallel_time: float) -> SequentialEngine:
+def _settled_engine(
+    n: int, seed: int, max_parallel_time: float, engine_spec: EngineSpec = None
+) -> BaseEngine:
     """Run the protocol until every agent has a fixed role (end of the first
     round for the stragglers) and return the engine."""
     protocol = GSULeaderElection.for_population(n)
-    engine = SequentialEngine(protocol, n, rng=seed)
+    engine = resolve_engine(engine_spec, protocol, n)(protocol, n, rng=seed)
     engine.run_until(
         lambda eng: uninitialised_count(eng) == 0,
         max_interactions=int(max_parallel_time * n),
@@ -85,7 +88,9 @@ def run_lemma41(config: ExperimentConfig) -> ExperimentResult:
         for n in config.population_sizes:
             counts: List[int] = []
             for _ in range(config.repetitions):
-                engine = _settled_engine(n, seeds[cursor], config.max_parallel_time)
+                engine = _settled_engine(
+                    n, seeds[cursor], config.max_parallel_time, config.engine
+                )
                 cursor += 1
                 counts.append(role_census(engine).get(Role.DEACTIVATED, 0))
             summary = summarize(counts)
@@ -122,7 +127,9 @@ def run_lemma53(config: ExperimentConfig) -> ExperimentResult:
         for n in config.population_sizes:
             sizes: List[int] = []
             for _ in range(config.repetitions):
-                engine = _settled_engine(n, seeds[cursor], config.max_parallel_time)
+                engine = _settled_engine(
+                    n, seeds[cursor], config.max_parallel_time, config.engine
+                )
                 cursor += 1
                 observation = coin_level_histogram(
                     engine, max_level=GSULeaderElection.for_population(n).params.phi
@@ -169,7 +176,9 @@ def run_lemma71(config: ExperimentConfig) -> ExperimentResult:
             protocol = GSULeaderElection.for_population(n)
             per_level: Dict[int, List[int]] = {}
             for _ in range(config.repetitions):
-                engine = _settled_engine(n, seeds[cursor], config.max_parallel_time)
+                engine = _settled_engine(
+                    n, seeds[cursor], config.max_parallel_time, config.engine
+                )
                 cursor += 1
                 # Let inhibitor preprocessing finish (it needs a couple of
                 # late half-rounds after the clock starts).
@@ -283,7 +292,7 @@ def run_clock(config: ExperimentConfig) -> ExperimentResult:
         horizon = 60.0  # parallel time per run; enough for several rounds
         for n, seed in zip(config.population_sizes, seeds):
             protocol = JuntaPhaseClockProtocol.for_population(n, gamma=24)
-            engine = SequentialEngine(protocol, n, rng=seed)
+            engine = resolve_engine(config.engine, protocol, n)(protocol, n, rng=seed)
             estimator = RoundLengthEstimator(gamma=protocol.gamma)
             checks = int(horizon * math.log2(n))
             for _ in range(checks):

@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_markdown_table, format_text_table
 from repro.engine.convergence import ConvergencePredicate
+from repro.engine.dispatch import EngineSpec
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.recorder import Recorder
 from repro.engine.rng import spawn_seeds
@@ -119,8 +120,12 @@ def run_cell(
     max_parallel_time: float,
     recorder_factory: Optional[Callable[[], Sequence[Recorder]]] = None,
     check_every: Optional[int] = None,
+    engine: EngineSpec = None,
 ) -> List[tuple]:
     """Run one experiment cell (fixed protocol and ``n``, several seeds).
+
+    ``engine`` is an engine specification (name, ``"auto"`` or class);
+    ``None`` keeps the sequential default.
 
     Returns a list of ``(RunResult, recorders)`` pairs, where ``recorders``
     is the (possibly empty) list produced by ``recorder_factory`` for that
@@ -138,6 +143,7 @@ def run_cell(
             convergence=convergence_for(protocol),
             recorders=recorders,
             check_every=check_every,
+            engine_cls=engine,
         )
         outcomes.append((result, recorders))
     return outcomes
@@ -152,6 +158,7 @@ def sweep(
     max_parallel_time: float,
     recorder_factory: Optional[Callable[[], Sequence[Recorder]]] = None,
     check_every: Optional[int] = None,
+    engine: EngineSpec = None,
 ) -> Dict[int, List[tuple]]:
     """Run a full (sizes × seeds) sweep; returns ``{n: [(result, recorders)]}``."""
     ns = [int(n) for n in ns]
@@ -168,6 +175,7 @@ def sweep(
             max_parallel_time=max_parallel_time,
             recorder_factory=recorder_factory,
             check_every=check_every,
+            engine=engine,
         )
     return cells
 

@@ -1,0 +1,304 @@
+"""Tests for the exact collision-aware batched engine and the auto-dispatcher.
+
+The engine's central guarantee — exactness — is pinned down at its strongest
+form: because :class:`FastBatchEngine` consumes the shared randomness stream
+through the same ``pair_block`` calls as :class:`SequentialEngine`, the two
+engines must produce *identical* trajectories for identical seeds, not
+merely equal distributions.  The scheduling helpers (conflict columns, wave
+depths, collision-free segments) are tested directly against brute-force
+reference implementations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import GSULeaderElection
+from repro.engine import (
+    ENGINE_NAMES,
+    ENGINE_REGISTRY,
+    auto_engine,
+    resolve_engine,
+    run_protocol,
+)
+from repro.engine.batch_engine import BatchEngine
+from repro.engine.count_engine import CountEngine
+from repro.engine.dispatch import _FASTBATCH_MIN_N
+from repro.engine.engine import SequentialEngine
+from repro.engine.fast_batch import (
+    FastBatchEngine,
+    collision_free_segments,
+    conflict_columns,
+    wave_depths,
+)
+from repro.errors import ConfigurationError
+from repro.protocols.approximate_majority import ApproximateMajority
+from repro.protocols.epidemic import OneWayEpidemic
+
+
+# ----------------------------------------------------------------------
+# Scheduling helpers
+# ----------------------------------------------------------------------
+def _reference_conflicts(responders, initiators):
+    """Brute-force previous-occurrence computation."""
+    last_seen = {}
+    conflict_r, conflict_i = [], []
+    for t, (a, b) in enumerate(zip(responders, initiators)):
+        conflict_r.append(last_seen.get(a, -1))
+        conflict_i.append(last_seen.get(b, -1))
+        last_seen[a] = t
+        last_seen[b] = t
+    return conflict_r, conflict_i
+
+
+@pytest.mark.parametrize("n,m,seed", [(4, 50, 0), (16, 200, 1), (1000, 500, 2)])
+def test_conflict_columns_match_bruteforce(n, m, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, n, size=m, dtype=np.int64)
+    b = (a + 1 + rng.integers(0, n - 1, size=m, dtype=np.int64)) % n  # b != a
+    conflict_r, conflict_i = conflict_columns(a, b)
+    ref_r, ref_i = _reference_conflicts(a.tolist(), b.tolist())
+    assert conflict_r.tolist() == ref_r
+    assert conflict_i.tolist() == ref_i
+
+
+def test_conflict_columns_empty_block():
+    empty = np.empty(0, dtype=np.int64)
+    conflict_r, conflict_i = conflict_columns(empty, empty)
+    assert conflict_r.size == 0 and conflict_i.size == 0
+
+
+@pytest.mark.parametrize("n,m,seed", [(6, 120, 3), (64, 400, 4), (5000, 600, 5)])
+def test_segments_partition_without_drops_or_duplicates(n, m, seed):
+    """Collision handling never drops or duplicates an interaction: the
+    segments are a partition of the block, in order, and each segment is a
+    maximal collision-free run."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, n, size=m, dtype=np.int64)
+    b = (a + 1 + rng.integers(0, n - 1, size=m, dtype=np.int64)) % n
+    segments = collision_free_segments(a, b)
+    # Exact partition of [0, m): no interaction lost, none applied twice.
+    assert segments[0][0] == 0 and segments[-1][1] == m
+    for (_, end), (start, _) in zip(segments, segments[1:]):
+        assert end == start
+    for start, end in segments:
+        assert end > start
+        ids = np.concatenate([a[start:end], b[start:end]])
+        assert np.unique(ids).size == ids.size  # collision-free
+        if end < m:  # maximal: the next pair collides with this run
+            assert a[end] in ids or b[end] in ids
+
+
+@pytest.mark.parametrize("n,m,seed", [(6, 120, 6), (64, 400, 7), (5000, 600, 8)])
+def test_wave_depths_schedule_is_exact(n, m, seed):
+    """Waves partition the block; equal-depth interactions never share an
+    agent; every predecessor sits in a strictly earlier wave."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, n, size=m, dtype=np.int64)
+    b = (a + 1 + rng.integers(0, n - 1, size=m, dtype=np.int64)) % n
+    conflict_r, conflict_i = conflict_columns(a, b)
+    depth = wave_depths(conflict_r, conflict_i, max_waves=m + 1)
+    assert depth is not None and depth.shape == (m,)
+    for t in range(m):
+        for pred in (conflict_r[t], conflict_i[t]):
+            if pred >= 0:
+                assert depth[pred] < depth[t]
+        if conflict_r[t] < 0 and conflict_i[t] < 0:
+            assert depth[t] == 0
+    for wave in range(int(depth.max()) + 1):
+        members = np.flatnonzero(depth == wave)
+        ids = np.concatenate([a[members], b[members]])
+        assert np.unique(ids).size == ids.size
+
+
+def test_wave_depths_respects_cap():
+    # A single agent chained through every interaction: depth grows by 1 each
+    # step, so a cap below the block length must report failure.
+    m = 20
+    a = np.zeros(m, dtype=np.int64)
+    b = np.arange(1, m + 1, dtype=np.int64)
+    conflict_r, conflict_i = conflict_columns(a, b)
+    assert wave_depths(conflict_r, conflict_i, max_waves=5) is None
+    depth = wave_depths(conflict_r, conflict_i, max_waves=m + 1)
+    assert depth is not None
+    assert depth.tolist() == list(range(m))
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+def test_constructor_validation():
+    protocol = OneWayEpidemic()
+    with pytest.raises(ConfigurationError):
+        FastBatchEngine(protocol, 1)
+    with pytest.raises(ConfigurationError):
+        FastBatchEngine(protocol, 16, block=0)
+    with pytest.raises(ConfigurationError):
+        FastBatchEngine(protocol, 16, kernel="fortran")
+
+
+def test_kernel_c_raises_when_unavailable(monkeypatch):
+    monkeypatch.setattr("repro.engine.fast_batch.load_kernel", lambda: None)
+    with pytest.raises(ConfigurationError):
+        FastBatchEngine(OneWayEpidemic(), 16, kernel="c")
+    # "auto" silently falls back to the NumPy wave schedule.
+    engine = FastBatchEngine(OneWayEpidemic(), 16, kernel="auto")
+    assert engine._c_kernel is None
+
+
+@pytest.mark.parametrize("kernel", ["auto", "numpy"])
+@pytest.mark.parametrize("n", [8, 64, 1024])
+def test_identical_trajectories_to_sequential_engine(n, kernel):
+    """Same seed, same driver calls => bit-for-bit identical trajectories.
+
+    This covers every engine code path: n=8 and n=64 exercise the NumPy
+    path's scalar fallback (deep dependency chains), n=1024 its wave
+    schedule, and kernel="auto" the C kernel where one compiles.
+    """
+    reference = SequentialEngine(OneWayEpidemic(), n, rng=17)
+    batched = FastBatchEngine(OneWayEpidemic(), n, rng=17, kernel=kernel)
+    for _ in range(4):
+        reference.run(3 * n + 5)
+        batched.run(3 * n + 5)
+        assert reference.state_counts() == batched.state_counts()
+    assert reference.population_snapshot() == batched.population_snapshot()
+    assert reference.states_ever_occupied == batched.states_ever_occupied
+
+
+@pytest.mark.parametrize("kernel", ["auto", "numpy"])
+def test_identical_trajectories_on_gsu_protocol(kernel):
+    n = 512
+    reference = SequentialEngine(GSULeaderElection.for_population(n), n, rng=5)
+    batched = FastBatchEngine(GSULeaderElection.for_population(n), n, rng=5, kernel=kernel)
+    for _ in range(3):
+        reference.run(8 * n)
+        batched.run(8 * n)
+        assert reference.state_counts() == batched.state_counts()
+    assert reference.states_ever_occupied == batched.states_ever_occupied
+
+
+def test_population_is_conserved_and_counts_non_negative():
+    n = 300
+    engine = FastBatchEngine(ApproximateMajority(initial_a_fraction=0.6), n, rng=2)
+    for _ in range(5):
+        engine.run(1000)
+        counts = engine.state_counts()
+        assert all(count > 0 for count in counts.values())
+        assert sum(counts.values()) == n
+
+
+def test_interaction_accounting_and_parallel_time():
+    n = 100
+    engine = FastBatchEngine(OneWayEpidemic(), n, rng=0)
+    engine.step()
+    assert engine.interactions == 1
+    engine.run(n - 1)
+    assert engine.interactions == n
+    assert engine.parallel_time == pytest.approx(1.0)
+
+
+def test_run_until_convergence_epidemic():
+    n = 256
+    engine = FastBatchEngine(OneWayEpidemic(), n, rng=11)
+    converged = engine.run_until(
+        lambda eng: OneWayEpidemic.fully_informed(eng.state_counts()),
+        max_interactions=200 * n,
+    )
+    assert converged
+    assert engine.state_counts() == {"informed": n}
+
+
+@pytest.mark.parametrize("kernel", ["auto", "numpy"])
+def test_lut_growth_beyond_initial_capacity(kernel):
+    # The GSU protocol for n=1024 uses well over the initial 64-state LUT.
+    n = 1024
+    engine = FastBatchEngine(GSULeaderElection.for_population(n), n, rng=1, kernel=kernel)
+    engine.run(40 * n)
+    assert engine.states_ever_occupied > 64
+    assert engine._lut_cap >= engine.states_ever_occupied
+    assert sum(count for _, count in engine.state_count_items()) == n
+
+
+def test_agent_level_inspection_helpers():
+    n = 32
+    engine = FastBatchEngine(OneWayEpidemic(sources=4), n, rng=3)
+    snapshot = engine.population_snapshot()
+    assert len(snapshot) == n
+    assert snapshot.count("informed") == 4
+    assert engine.agent_state(0) == snapshot[0]
+    assert len(engine.agent_state_ids()) == n
+
+
+def test_run_protocol_accepts_engine_names_and_auto():
+    protocol = ApproximateMajority(initial_a_fraction=0.7)
+    by_name = run_protocol(
+        protocol, 128, seed=4, max_parallel_time=50.0, engine_cls="fastbatch"
+    )
+    by_class = run_protocol(
+        protocol, 128, seed=4, max_parallel_time=50.0, engine_cls=FastBatchEngine
+    )
+    assert by_name.final_counts == by_class.final_counts
+    auto = run_protocol(
+        ApproximateMajority(initial_a_fraction=0.7),
+        128,
+        seed=4,
+        max_parallel_time=50.0,
+        engine_cls="auto",
+    )
+    # auto resolves to the sequential engine at this size; same stream, same
+    # trajectory as the fastbatch run above.
+    assert auto.final_counts == by_name.final_counts
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+def test_auto_engine_policy_without_c_kernel(monkeypatch):
+    monkeypatch.setattr("repro.engine.dispatch.kernel_available", lambda: False)
+    epidemic = OneWayEpidemic()
+    assert auto_engine(epidemic, 1024) is SequentialEngine
+    assert auto_engine(epidemic, _FASTBATCH_MIN_N) is FastBatchEngine
+    assert auto_engine(epidemic, 10**6) is FastBatchEngine
+    # Tiny canonical state space + astronomically large population -> count.
+    assert auto_engine(epidemic, 1 << 28) is CountEngine
+    # Lazily discovered state space never dispatches to the count engine.
+    big_gsu = GSULeaderElection.for_population(1 << 28)
+    assert auto_engine(big_gsu, 1 << 28) is FastBatchEngine
+
+
+def test_auto_engine_policy_with_c_kernel(monkeypatch):
+    monkeypatch.setattr("repro.engine.dispatch.kernel_available", lambda: True)
+    epidemic = OneWayEpidemic()
+    # The compiled kernel wins from a few hundred agents upward.
+    assert auto_engine(epidemic, 64) is SequentialEngine
+    assert auto_engine(epidemic, 1024) is FastBatchEngine
+    assert auto_engine(epidemic, 10**6) is FastBatchEngine
+    assert auto_engine(epidemic, 1 << 28) is CountEngine
+
+
+def test_resolve_engine_accepts_names_classes_and_none():
+    epidemic = OneWayEpidemic()
+    assert resolve_engine(None) is SequentialEngine
+    assert resolve_engine("sequential") is SequentialEngine
+    assert resolve_engine("FASTBATCH") is FastBatchEngine
+    assert resolve_engine("count") is CountEngine
+    assert resolve_engine("batch") is BatchEngine
+    assert resolve_engine(BatchEngine) is BatchEngine
+    assert resolve_engine("auto", epidemic, 64) is SequentialEngine
+    with pytest.raises(ConfigurationError):
+        resolve_engine("auto")  # needs protocol and n
+    with pytest.raises(ConfigurationError):
+        resolve_engine("warp-drive")
+    with pytest.raises(ConfigurationError):
+        resolve_engine(42)
+
+
+def test_registry_and_names_are_consistent():
+    assert set(ENGINE_NAMES) == set(ENGINE_REGISTRY) | {"auto"}
+    for name, engine_cls in ENGINE_REGISTRY.items():
+        assert resolve_engine(name) is engine_cls
+    # The dispatcher never selects the approximate engine.
+    assert BatchEngine not in {
+        auto_engine(OneWayEpidemic(), n) for n in (64, 10**4, 10**6, 1 << 28)
+    }

@@ -111,6 +111,54 @@ def test_cli_config_from_args_overrides():
     assert config.max_parallel_time == 123
 
 
+def test_cli_engine_flag_reaches_config():
+    parser = build_parser()
+    args = parser.parse_args(["run", "lemma41", "--preset", "smoke", "--engine", "auto"])
+    assert config_from_args(args).engine == "auto"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "lemma41", "--engine", "warp-drive"])
+
+
+def test_cli_engine_auto_runs_end_to_end():
+    """Smoke test: ``python -m repro.cli run ... --engine auto`` as a real
+    subprocess, covering module entry point, auto-dispatch and reporting."""
+    import os
+    import subprocess
+    import sys
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "run",
+            "lemma41",
+            "--preset",
+            "smoke",
+            "--sizes",
+            "64",
+            "--repetitions",
+            "1",
+            "--engine",
+            "auto",
+            "--no-charts",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert "lemma41" in completed.stdout
+
+
 def test_cli_run_fast_experiment(capsys, tmp_path):
     exit_code = main(
         [

@@ -11,9 +11,14 @@ The ``--preset`` option selects one of the
 :class:`~repro.experiments.config.ExperimentConfig` presets (``smoke``,
 ``default``, ``large``); individual sweep parameters can be overridden with
 ``--sizes``, ``--repetitions`` and ``--budget``.  ``--engine`` picks the
-simulation engine (``sequential``, ``count``, ``fastbatch``, ``batch``) or
-``auto`` to dispatch on population size — see the engine selection guide in
-:mod:`repro.engine`.
+simulation engine (``sequential``, ``count``, ``countbatch``, ``fastbatch``,
+``batch``) or ``auto`` to dispatch on population size — see the engine
+selection guide in :mod:`repro.engine`.  Figure/table sweeps at
+``n = 10^7``-``10^8`` are feasible with ``--engine countbatch`` (or
+``auto``), e.g.::
+
+    python -m repro.cli run figure1 --preset large \
+        --sizes 1000000 10000000 --engine countbatch
 """
 
 from __future__ import annotations

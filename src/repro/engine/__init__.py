@@ -7,15 +7,20 @@ random, the first acting as **responder** and the second as **initiator**,
 and both agents update their states according to the protocol's deterministic
 transition function.
 
-Four engines are provided:
+All engines consume one shared **compiled transition-table IR**
+(:class:`~repro.engine.table.TransitionTable`, obtained from
+``protocol.compile()``): protocol states are interned as small integers and
+the transition/output functions are lowered into a scalar memo dict, a
+packed dense lookup array (the C kernel's input) and vectorised output
+maps.  Engines built on the same protocol instance share one table, so a
+state pair compiled anywhere serves every hot path.
+
+Five engines are provided:
 
 * :class:`~repro.engine.engine.SequentialEngine` — the reference engine.  It
-  keeps one integer-encoded state per agent and memoises the deterministic
-  transition function, so each interaction is a couple of list look-ups.  It
+  keeps one integer-encoded state per agent and looks transitions up in the
+  shared table's dict, so each interaction is a couple of list look-ups.  It
   simulates the model *exactly*.
-* :class:`~repro.engine.count_engine.CountEngine` — also exact, but keeps only
-  the multiset of states (counts).  Preferable when the number of distinct
-  states is small and per-agent memory is the constraint.
 * :class:`~repro.engine.fast_batch.FastBatchEngine` — exact *and* batched:
   pre-samples blocks of ordered pairs and applies them either through a
   tiny compiled C kernel (when the system has a C compiler — an order of
@@ -23,40 +28,57 @@ Four engines are provided:
   through collision-free dependency waves with vectorised NumPy lookups.
   Bit-for-bit identical trajectories to the sequential engine for the same
   seed on both paths.
+* :class:`~repro.engine.count_batch.CountBatchEngine` — exact **in
+  distribution**, ``O(k)`` memory: simulates over state counts only,
+  processing collision-free runs of ``Θ(sqrt(n))`` interactions per
+  ``O(k^2)`` hypergeometric update (Berenbrink et al.-style batching).
+  The engine for ``n = 10^7``–``10^8`` population sizes, where per-agent
+  arrays are slow (cache misses) or impossible (memory).
+* :class:`~repro.engine.count_engine.CountEngine` — also exact, keeps only
+  the multiset of states and samples one ordered pair per step.  The
+  easiest-to-audit configuration-level reference; superseded for throughput
+  by ``CountBatchEngine``.
 * :class:`~repro.engine.batch_engine.BatchEngine` — an *approximate* engine
-  that applies many interactions per batch by multinomial sampling while
-  holding counts fixed within the batch.  Useful for quick exploration only;
-  it is never used for correctness claims.
+  (multinomial sampling with counts held fixed within a batch), superseded
+  by ``CountBatchEngine`` and kept as the ablation baseline quantifying
+  what giving up exactness would buy.  Requesting it by name warns.
 
 Engine selection guide
 ======================
 
 All run entry points accept ``engine_cls`` / ``engine`` as a class, a name
-(``"sequential"``, ``"count"``, ``"fastbatch"``, ``"batch"``) or ``"auto"``
-(the CLI exposes the same choices via ``--engine``).  Rules of thumb, with
-per-interaction costs (``k`` = number of distinct occupied states):
+(``"sequential"``, ``"count"``, ``"countbatch"``, ``"fastbatch"``,
+``"batch"``) or ``"auto"`` (the CLI exposes the same choices via
+``--engine``).  Rules of thumb, with per-interaction costs (``k`` = number
+of distinct occupied states):
 
-===============  ======  ==========================  ========================
-engine           exact?  cost per interaction        use when
-===============  ======  ==========================  ========================
-sequential       yes     O(1) Python                 tiny n, or as the
-                                                     reference implementation
-fastbatch        yes     O(1): ~ns in the C kernel,  the default workhorse —
-                         or O(1) NumPy amortised     10-15x sequential with a
-                         over sqrt(n)-long waves     C compiler; above ~5*10^4
-                                                     agents on pure NumPy
-count            yes     O(k) Python, O(k) memory    huge n with tiny k, when
-                                                     O(n) memory is the limit
-batch            NO      O(k^2) per batch            quick exploration only —
-                                                     never correctness claims
-===============  ======  ==========================  ========================
+===============  ==========  ==========================  ======================
+engine           exactness   cost per interaction        use when
+===============  ==========  ==========================  ======================
+sequential       exact       O(1) Python                 tiny n, or as the
+                 trajectory                              reference
+fastbatch        exact       O(1): ~ns in the C kernel,  the in-cache workhorse
+                 trajectory  or O(1) NumPy amortised     — 10-15x sequential
+                             over sqrt(n)-long waves     with a C compiler; on
+                                                         pure NumPy above
+                                                         ~5*10^4 agents
+countbatch       exact in    O(k^2 / sqrt(n)) amortised  huge n (auto picks it
+                 distribu-   — vanishes as n grows;      from 3*10^6 up) with
+                 tion        O(k) memory                 small k; the
+                                                         n = 10^7-10^8 engine
+count            exact in    O(k) Python, O(k) memory    auditing the count
+                 distribu-                               representation; not a
+                 tion                                    throughput choice
+batch            APPROXIMATE O(k^2) per batch            deprecated — ablation
+                                                         baseline only
+===============  ==========  ==========================  ======================
 
 ``"auto"`` (see :func:`~repro.engine.dispatch.auto_engine`) encodes exactly
 this table, choosing among the *exact* engines from ``(n, state-space size,
-C-kernel availability)``: fastbatch above the measured crossover for the
-hot path that is actually available, count only when per-agent arrays would
-strain memory and the protocol declares a small canonical state space,
-sequential otherwise.  The approximate batch engine is never auto-selected.
+C-kernel availability)``: count-batch above its measured crossover when the
+protocol declares a small canonical state space, fastbatch above the
+crossover for whichever hot path is actually available, sequential
+otherwise.  The approximate batch engine is never auto-selected.
 
 The :mod:`repro.engine.simulation` module layers run management (convergence
 predicates, interaction budgets, recorders, result objects) on top of the
@@ -67,10 +89,12 @@ from __future__ import annotations
 
 from repro.engine.protocol import PopulationProtocol, ProtocolSpec
 from repro.engine.state import StateEncoder
+from repro.engine.table import TransitionTable
 from repro.engine.rng import make_rng, spawn_seeds
 from repro.engine.scheduler import PairSampler
 from repro.engine.engine import SequentialEngine
 from repro.engine.count_engine import CountEngine
+from repro.engine.count_batch import CountBatchEngine
 from repro.engine.batch_engine import BatchEngine
 from repro.engine.fast_batch import FastBatchEngine
 from repro.engine.dispatch import (
@@ -100,11 +124,13 @@ __all__ = [
     "PopulationProtocol",
     "ProtocolSpec",
     "StateEncoder",
+    "TransitionTable",
     "make_rng",
     "spawn_seeds",
     "PairSampler",
     "SequentialEngine",
     "CountEngine",
+    "CountBatchEngine",
     "BatchEngine",
     "FastBatchEngine",
     "ENGINE_NAMES",

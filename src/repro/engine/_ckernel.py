@@ -3,25 +3,32 @@
 :mod:`repro.engine.fast_batch` applies pre-sampled interaction blocks either
 through its vectorised NumPy wave schedule or — when a working C compiler is
 available — through the tiny C kernel below, which executes the block in
-strict sequential order against the packed transition lookup table.  The C
-path needs no collision analysis at all (it *is* the sequential semantics,
-just without the interpreter), runs at a few nanoseconds per interaction,
-and is bit-for-bit identical to both the NumPy path and
+strict sequential order against the protocol's shared packed transition
+table (:class:`~repro.engine.table.TransitionTable`).  The C path needs no
+collision analysis at all (it *is* the sequential semantics, just without
+the interpreter), runs at a few nanoseconds per interaction, and is
+bit-for-bit identical to both the NumPy path and
 :class:`~repro.engine.engine.SequentialEngine`.
 
-The kernel is compiled once per source digest with the system ``cc`` into
-``_kernel_build/`` next to this module (an ignored build directory) and
-cached across runs; compilation is attempted lazily on first use and every
+The kernel is compiled once per source digest with the system ``cc`` into a
+**user cache directory** — ``$REPRO_KERNEL_CACHE`` if set, else
+``$XDG_CACHE_HOME/repro/kernels``, else ``~/.cache/repro/kernels`` — so
+installed or packaged source trees stay clean (releases before this scheme
+built into ``src/repro/engine/_kernel_build/``, which remains gitignored for
+old checkouts).  Compilation is attempted lazily on first use and every
 failure — no compiler, sandboxed filesystem, exotic platform — silently
 falls back to the NumPy path.  Set ``REPRO_NO_C_KERNEL=1`` to force the
 fallback (the test suite uses this to pin the NumPy path's exactness).
 
 The function contract mirrors the engine's miss-handling loop: the kernel
-applies interactions until it hits a state pair whose LUT entry is still
-``-1`` and returns that interaction's index; the caller evaluates the pair
+applies interactions until it hits a state pair whose table entry is still
+``-1`` and returns that interaction's index; the caller compiles the pair
 in Python (registering new states exactly as the scalar engines do) and
 resumes.  Misses are a per-state-pair one-time cost, so the loop almost
-always completes in a single call.
+always completes in a single call.  Alongside each applied transition the
+kernel marks the two output state ids in the caller's ``seen`` byte mask,
+which is how :class:`~repro.engine.fast_batch.FastBatchEngine` keeps
+``states_ever_occupied`` exact without leaving C.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["load_kernel", "kernel_available"]
+__all__ = ["load_kernel", "kernel_available", "kernel_cache_dir"]
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -49,11 +56,14 @@ _SOURCE = r"""
  * start      : index to resume from
  * lut        : flattened (cap x cap) table; entry r*cap + i holds
  *              (new_r << 32) | new_i, or a negative value when the pair
- *              has not been evaluated yet
+ *              has not been compiled yet
  * cap        : side length of the lookup table
+ * seen       : byte mask over state ids (>= cap entries); the outputs of
+ *              every applied transition are marked 1 (ever-occupied
+ *              tracking)
  *
  * Returns the index of the first interaction whose state pair is missing
- * from the table (the caller evaluates it and resumes), or n_pairs once
+ * from the table (the caller compiles it and resumes), or n_pairs once
  * the whole block has been applied.
  */
 int64_t repro_apply_block(
@@ -63,7 +73,8 @@ int64_t repro_apply_block(
     int64_t n_pairs,
     int64_t start,
     const int64_t *lut,
-    int64_t cap)
+    int64_t cap,
+    uint8_t *seen)
 {
     for (int64_t t = start; t < n_pairs; t++) {
         int64_t agent_r = responders[t];
@@ -72,8 +83,12 @@ int64_t repro_apply_block(
         if (packed < 0) {
             return t;
         }
-        states[agent_r] = (int32_t)(packed >> 32);
-        states[agent_i] = (int32_t)(packed & 0xFFFFFFFF);
+        int32_t new_r = (int32_t)(packed >> 32);
+        int32_t new_i = (int32_t)(packed & 0xFFFFFFFF);
+        states[agent_r] = new_r;
+        states[agent_i] = new_i;
+        seen[new_r] = 1;
+        seen[new_i] = 1;
     }
     return n_pairs;
 }
@@ -81,6 +96,22 @@ int64_t repro_apply_block(
 
 _kernel: Optional[ctypes.CFUNCTYPE] = None
 _load_attempted = False
+
+
+def kernel_cache_dir() -> Path:
+    """Directory the compiled kernel artifacts are cached in.
+
+    Resolution order: ``$REPRO_KERNEL_CACHE`` (explicit override), then
+    ``$XDG_CACHE_HOME/repro/kernels``, then ``~/.cache/repro/kernels``.
+    Keeping build products out of the source tree means installed and
+    packaged trees stay pristine and the cache survives reinstalls.
+    """
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "kernels"
 
 
 def _compile(build_dir: Path) -> Path:
@@ -91,7 +122,7 @@ def _compile(build_dir: Path) -> Path:
     compiler = shutil.which("cc") or shutil.which("gcc")
     if compiler is None:
         raise RuntimeError("no C compiler on PATH")
-    build_dir.mkdir(exist_ok=True)
+    build_dir.mkdir(parents=True, exist_ok=True)
     with tempfile.NamedTemporaryFile(
         "w", suffix=".c", dir=build_dir, delete=False
     ) as handle:
@@ -129,7 +160,7 @@ def load_kernel():
     if os.environ.get("REPRO_NO_C_KERNEL"):
         return None
     try:
-        lib_path = _compile(Path(__file__).resolve().parent / "_kernel_build")
+        lib_path = _compile(kernel_cache_dir())
         library = ctypes.CDLL(str(lib_path))
         function = library.repro_apply_block
         function.restype = ctypes.c_int64
@@ -141,6 +172,7 @@ def load_kernel():
             ctypes.c_int64,  # start
             ctypes.c_void_p,  # lut
             ctypes.c_int64,  # cap
+            ctypes.c_void_p,  # seen
         ]
         _kernel = function
     except Exception:

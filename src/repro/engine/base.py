@@ -1,9 +1,17 @@
 """Shared machinery for the simulation engines.
 
 :class:`BaseEngine` factors out everything that does not depend on how the
-population is represented (per-agent array vs. state counts): transition
-memoisation, output-symbol memoisation, count bookkeeping helpers, the
-``run``/``run_until`` drivers, and convergence-friendly accessors.
+population is represented (per-agent array vs. state counts): the compiled
+:class:`~repro.engine.table.TransitionTable` obtained from
+``protocol.compile()``, ever-occupied state tracking, count bookkeeping
+helpers, the ``run``/``run_until`` drivers, and convergence-friendly
+accessors.
+
+Transition and output memoisation live in the shared table, **not** in the
+engines: every engine built on the same protocol instance consumes the same
+compiled ``delta`` dict / packed lookup array / output maps, so compiling a
+state pair once serves the scalar loops, the vectorised NumPy paths and the
+C kernel alike.
 """
 
 from __future__ import annotations
@@ -13,8 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike
-from repro.engine.state import StateEncoder
-from repro.errors import ConfigurationError, TransitionError
+from repro.errors import ConfigurationError
 from repro.types import State
 
 __all__ = ["BaseEngine"]
@@ -38,15 +45,14 @@ class BaseEngine(abc.ABC):
             raise ConfigurationError(f"population size must be >= 2, got {n}")
         self.protocol = protocol
         self.n = int(n)
-        self.encoder = StateEncoder()
+        #: The protocol's compiled transition-table IR, shared across every
+        #: engine built on the same protocol instance.
+        self.table = protocol.compile()
+        self.encoder = self.table.encoder
         self.interactions = 0
-        # Memoised deterministic transition on state identifiers.
-        self._transition_cache: Dict[Tuple[int, int], Tuple[int, int]] = {}
-        # Memoised output symbol per state identifier.
-        self._output_cache: List[str] = []
-        # Count of distinct states that have ever been occupied by an agent
-        # during this run -- the empirical space usage of the protocol.
-        self._ever_occupied: set[int] = set()
+        # Distinct states occupied by at least one agent at any point of this
+        # run -- per-run state, deliberately NOT part of the shared table.
+        self._ever_occupied: set = set()
 
     # ------------------------------------------------------------------
     # Abstract representation-specific pieces
@@ -60,43 +66,26 @@ class BaseEngine(abc.ABC):
         """Return ``(state_id, count)`` pairs for states with count > 0."""
 
     # ------------------------------------------------------------------
-    # Transition / output memoisation
+    # Occupancy tracking
     # ------------------------------------------------------------------
-    def _encode_initial(self, state: State) -> int:
-        sid = self.encoder.encode(state)
-        self._ever_occupied.add(sid)
-        return sid
+    def _mark_occupied(self, sid: int) -> None:
+        """Record that ``sid`` has been occupied at some point of this run.
 
-    def _apply_transition(self, responder_id: int, initiator_id: int) -> Tuple[int, int]:
-        """Memoised transition on state identifiers."""
-        key = (responder_id, initiator_id)
-        cached = self._transition_cache.get(key)
-        if cached is not None:
-            return cached
-        responder = self.encoder.decode(responder_id)
-        initiator = self.encoder.decode(initiator_id)
-        try:
-            new_responder, new_initiator = self.protocol.transition(responder, initiator)
-        except Exception as exc:  # pragma: no cover - defensive
-            raise TransitionError(responder, initiator, str(exc)) from exc
-        new_responder_id = self.encoder.encode(new_responder)
-        new_initiator_id = self.encoder.encode(new_initiator)
-        self._ever_occupied.add(new_responder_id)
-        self._ever_occupied.add(new_initiator_id)
-        result = (new_responder_id, new_initiator_id)
-        self._transition_cache[key] = result
-        return result
+        Engines call this for every initial state and for every transition
+        output that differs from its input; together with the invariant that
+        an agent's current state is always either initial or a previously
+        recorded changed output, this tracks the exact ever-occupied set.
+        """
+        self._ever_occupied.add(sid)
+
+    def _encode_initial(self, state: State) -> int:
+        sid = self.table.encode(state)
+        self._mark_occupied(sid)
+        return sid
 
     def output_of_id(self, sid: int) -> str:
         """Output symbol of the state registered under ``sid`` (memoised)."""
-        cache = self._output_cache
-        while len(cache) < len(self.encoder):
-            cache.append(None)  # type: ignore[arg-type]
-        symbol = cache[sid]
-        if symbol is None:
-            symbol = self.protocol.output(self.encoder.decode(sid))
-            cache[sid] = symbol
-        return symbol
+        return self.table.output_of(sid)
 
     # ------------------------------------------------------------------
     # Public inspection API
@@ -133,8 +122,9 @@ class BaseEngine(abc.ABC):
     def counts_by_output(self) -> Dict[str, int]:
         """Aggregate current counts by output symbol."""
         totals: Dict[str, int] = {}
+        output_of = self.table.output_of
         for sid, count in self.state_count_items():
-            symbol = self.output_of_id(sid)
+            symbol = output_of(sid)
             totals[symbol] = totals.get(symbol, 0) + count
         return totals
 

@@ -12,6 +12,15 @@ round(batch_fraction * n))`` with ``batch_fraction = 0.05``).
 This engine is intended for quick exploration and for the engine-ablation
 benchmark only.  Every correctness claim in the test-suite and every number
 recorded in ``EXPERIMENTS.md`` uses one of the exact engines.
+
+.. deprecated::
+    For large-``n`` exploration this engine is **superseded** by
+    :class:`~repro.engine.count_batch.CountBatchEngine`, which achieves the
+    same configuration-level batching *without* the within-batch
+    approximation error (exact in distribution) at comparable or better
+    throughput.  Requesting ``engine="batch"`` by name emits a
+    :class:`FutureWarning`; the class is kept as the ablation baseline
+    that quantifies what giving up exactness would buy.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.engine.base import BaseEngine
+from repro.engine.count_engine import initial_count_items
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike, make_rng
 from repro.errors import ConfigurationError
@@ -48,13 +58,11 @@ class BatchEngine(BaseEngine):
             )
         self._rng = make_rng(rng)
         self.batch_size = max(1, int(round(batch_fraction * n)))
-        configuration = protocol.initial_configuration(n)
-        protocol.validate_configuration(configuration, n)
-        self._counts: List[int] = []
-        for state in configuration:
+        self._counts: List[int] = [0] * len(self.encoder)
+        for state, count in initial_count_items(protocol, n):
             sid = self._encode_initial(state)
             self._grow_counts()
-            self._counts[sid] += 1
+            self._counts[sid] += count
 
     # ------------------------------------------------------------------
     def _grow_counts(self) -> None:
@@ -80,12 +88,14 @@ class BatchEngine(BaseEngine):
         probabilities = self._pair_probabilities(occupied)
         draws = self._rng.multinomial(batch, probabilities.ravel())
         draws = draws.reshape(probabilities.shape)
+        apply_pair = self.table.apply
+        seen_add = self._ever_occupied.add
         for row, responder_sid in enumerate(occupied):
             for col, initiator_sid in enumerate(occupied):
                 multiplicity = int(draws[row, col])
                 if multiplicity == 0:
                     continue
-                new_responder, new_initiator = self._apply_transition(
+                new_responder, new_initiator = apply_pair(
                     responder_sid, initiator_sid
                 )
                 self._grow_counts()
@@ -93,9 +103,11 @@ class BatchEngine(BaseEngine):
                 if new_responder != responder_sid:
                     counts[responder_sid] -= multiplicity
                     counts[new_responder] += multiplicity
+                    seen_add(new_responder)
                 if new_initiator != initiator_sid:
                     counts[initiator_sid] -= multiplicity
                     counts[new_initiator] += multiplicity
+                    seen_add(new_initiator)
         # Bulk updates can transiently push a count negative when the batch
         # consumed more agents of a state than existed (the approximation
         # error).  Clamp and renormalise deterministically so the population

@@ -1,0 +1,314 @@
+"""Exact-in-distribution batched simulation over state counts.
+
+:class:`CountBatchEngine` is the configuration-space engine the tentpole
+experiments at ``n = 10^7``–``10^8`` run on.  Like
+:class:`~repro.engine.count_engine.CountEngine` it stores only the state
+counts (``O(k)`` memory — no per-agent array, no ``O(n)`` construction), but
+instead of sampling one ordered pair per step it processes interactions in
+*collision-free runs* of expected length ``Θ(sqrt(n))`` with ``O(k^2)``
+work per run, in the style of Berenbrink et al.'s batched population-protocol
+simulation (see PAPERS.md): the per-interaction cost vanishes like
+``(k^2 + log n) / sqrt(n)`` as the population grows.
+
+Exactness (in distribution)
+===========================
+
+The sequential model draws an i.i.d. sequence of uniformly random ordered
+pairs of distinct agents.  Parse that sequence into *runs*: a maximal prefix
+of interactions whose ``2L`` participating agents are all distinct, followed
+by the first *colliding* interaction (one that reuses a participant).  Since
+the pair sequence is i.i.d., re-anchoring the parse after every run is
+exact, and each run can be sampled configuration-level:
+
+1. **Run length.**  The ``j``-th pair avoids the ``2(j-1)`` agents already
+   used with probability ``p_j = (n-2j+2)(n-2j+1) / (n(n-1))``, so
+   ``P(L >= j) = p_1 ... p_j`` — a fixed survival curve depending only on
+   ``n``, precomputed once; each batch draws ``L`` by inverting one uniform
+   against it.  Truncating the curve (at ``~8.5 sqrt(n)``, where survival is
+   ``~1e-30``, or at a caller's remaining-interaction budget) stays exact:
+   conditioned on ``L >= r``, applying ``r`` collision-free pairs and
+   re-anchoring is a valid parse as well — no collision step is owed.
+2. **Participants.**  The ``2L`` distinct agents form a uniform ordered
+   sample without replacement, so their state multiset ``H`` is multivariate
+   hypergeometric from the counts; the responder multiset ``R`` is a
+   hypergeometric split of ``H`` (initiators ``I = H - R``), and the pairing
+   contingency matrix ``M[a, b]`` follows by matching each responder state's
+   slots against the remaining initiator pool (sequential hypergeometric
+   rows).  All ``2L`` agents are distinct, so applying every pair through
+   the compiled transition table *simultaneously* is exact.
+3. **The colliding interaction.**  Conditioned on ending the run, the next
+   pair has at least one participant among the ``2L`` used agents, whose
+   post-transition state multiset ``U`` is known; the fresh agents keep the
+   multiset ``counts_before - H``.  The ordered pair falls in category
+   (used, fresh), (fresh, used) or (used, used) with weights ``uf``, ``fu``
+   and ``u(u-1)``, and the two states are drawn from the corresponding
+   multisets (without replacement within the used pool), exactly as
+   ``CountEngine`` draws its ordered pairs.
+
+The KS distributional-equivalence suite (``tests/test_engine_equivalence.py``)
+pins this engine against :class:`SequentialEngine` on the epidemic,
+approximate-majority and GSU19 workloads.  Unlike
+:class:`~repro.engine.fast_batch.FastBatchEngine` the trajectories are not
+bit-for-bit reproductions of the sequential engine's for equal seeds (the
+randomness is consumed through entirely different draws); equality holds in
+distribution, which is what every statistic in the paper's figures is a
+function of.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.engine.base import BaseEngine
+from repro.engine.count_engine import initial_count_items, sample_weighted_index
+from repro.engine.protocol import PopulationProtocol
+from repro.engine.rng import RngLike, make_rng
+
+__all__ = ["CountBatchEngine"]
+
+#: Survival-curve truncation: beyond ``_SURVIVAL_SPAN * sqrt(n)`` pairs the
+#: all-distinct probability is ~1e-30; conditioning on reaching the cap and
+#: re-anchoring there keeps the scheme exact (see the module docstring).
+_SURVIVAL_SPAN = 8.5
+
+
+class CountBatchEngine(BaseEngine):
+    """Exact-in-distribution batched engine over state counts.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to simulate.  Works for any protocol, but the per-batch
+        cost grows with the square of the number of *occupied* states —
+        the engine shines for small-state-space protocols at huge ``n``.
+    n:
+        Population size (>= 2).
+    rng:
+        Seed or :class:`numpy.random.Generator`.
+    """
+
+    exact = True
+
+    def __init__(self, protocol: PopulationProtocol, n: int, rng: RngLike = None) -> None:
+        super().__init__(protocol, n, rng)
+        self._rng = make_rng(rng)
+        counts = np.zeros(max(1, len(self.encoder)), dtype=np.int64)
+        for state, count in initial_count_items(protocol, n):
+            sid = self._encode_initial(state)
+            if sid >= counts.shape[0]:
+                counts = self._grown(counts, len(self.encoder))
+            counts[sid] += count
+        self._counts = counts
+        # Precomputed negated survival curve -P(L >= j), j = 1..jmax,
+        # ascending (searchsorted-ready).  Depends only on n.
+        jmax = max(1, min(n // 2, int(_SURVIVAL_SPAN * math.sqrt(n)) + 16))
+        steps = np.arange(jmax, dtype=np.float64)
+        fresh = n - 2.0 * steps
+        log_p = (
+            np.log(fresh)
+            + np.log(fresh - 1.0)
+            - math.log(n)
+            - math.log(n - 1.0)
+        )
+        self._neg_survival = -np.exp(np.cumsum(log_p))
+        self._jmax = jmax
+
+    # ------------------------------------------------------------------
+    # Count bookkeeping
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _grown(array: np.ndarray, size: int) -> np.ndarray:
+        grown = np.zeros(max(size, array.shape[0]), dtype=np.int64)
+        grown[: array.shape[0]] = array
+        return grown
+
+    def _ensure_counts(self) -> None:
+        if self._counts.shape[0] < len(self.encoder):
+            self._counts = self._grown(self._counts, len(self.encoder))
+
+    # ------------------------------------------------------------------
+    # Batched stepping
+    # ------------------------------------------------------------------
+    def _draw_run_length(self, remaining: int) -> Tuple[int, bool]:
+        """Sample the collision-free run length, capped by ``remaining``.
+
+        Returns ``(length, collide)`` where ``collide`` says whether the run
+        is followed by the colliding interaction that ended it.  Hitting the
+        survival-curve truncation or the remaining-interaction budget means
+        the run was cut short by conditioning, not by a collision.
+        """
+        u = float(self._rng.random())
+        length = int(np.searchsorted(self._neg_survival, -u, side="right"))
+        length = max(1, length)
+        collide = length < self._jmax
+        if length >= remaining:
+            length = remaining
+            collide = False
+        return length, collide
+
+    def _multivariate_hypergeometric(
+        self, colors: np.ndarray, nsample: int, total: int
+    ) -> np.ndarray:
+        """Multivariate hypergeometric draw via sequential conditionals.
+
+        Distribution-identical to NumPy's ``multivariate_hypergeometric``
+        but built from scalar ``hypergeometric`` calls, which avoids ~10us
+        of per-call wrapper overhead — the dominant cost of a batch for
+        small state spaces.  ``total`` must equal ``colors.sum()``.
+        """
+        out = np.zeros(colors.shape[0], dtype=np.int64)
+        m = int(nsample)
+        hyper = self._rng.hypergeometric
+        for sid, color in enumerate(colors.tolist()):
+            if m == 0:
+                break
+            if color == 0:
+                continue
+            rest = total - color
+            if rest == 0:
+                out[sid] = m
+                break
+            drawn = int(hyper(color, rest, m))
+            out[sid] = drawn
+            m -= drawn
+            total = rest
+        return out
+
+    def _pair_matrix(
+        self, pairs: int
+    ) -> Tuple[np.ndarray, List[int], List[int], List[int]]:
+        """Sample the batch's participant states and pairing contingency.
+
+        Returns ``(involved, pair_r, pair_i, pair_m)``: the hypergeometric
+        state multiset of the ``2 * pairs`` distinct participants, plus the
+        nonzero cells of the responder/initiator pairing matrix.
+        """
+        counts = self._counts
+        involved = self._multivariate_hypergeometric(counts, 2 * pairs, self.n)
+        responders = self._multivariate_hypergeometric(involved, pairs, 2 * pairs)
+        pair_r: List[int] = []
+        pair_i: List[int] = []
+        pair_m: List[int] = []
+        remaining_i = involved - responders
+        remaining_total = pairs
+        occupied_r = np.flatnonzero(responders).tolist()
+        last = len(occupied_r) - 1
+        for index, a in enumerate(occupied_r):
+            slots = int(responders[a])
+            if index == last:
+                # The final responder state takes the whole remaining
+                # initiator pool — deterministic, no draw needed.
+                row = remaining_i
+            else:
+                row = self._multivariate_hypergeometric(
+                    remaining_i, slots, remaining_total
+                )
+                remaining_i = remaining_i - row
+                remaining_total -= slots
+            for b in np.flatnonzero(row).tolist():
+                pair_r.append(a)
+                pair_i.append(b)
+                pair_m.append(int(row[b]))
+        return involved, pair_r, pair_i, pair_m
+
+    def _sample_multiset(self, vector: np.ndarray, total: int, exclude: int = -1) -> int:
+        """Sample a state id proportionally to a count vector.
+
+        ``exclude`` removes one agent of that state from the pool (drawing
+        the second member of an ordered pair without replacement).
+        """
+        return sample_weighted_index(
+            vector.tolist(), float(self._rng.random()) * total, exclude
+        )
+
+    def _run_batch(self, remaining: int) -> int:
+        """Advance by one collision-free run (plus its colliding interaction
+        when one ended the run); returns the number of interactions applied."""
+        length, collide = self._draw_run_length(remaining)
+        self._ensure_counts()
+        involved, pair_r, pair_i, pair_m = self._pair_matrix(length)
+        apply_pair = self.table.apply
+        cells = [
+            (apply_pair(responder_id, initiator_id), multiplicity)
+            for responder_id, initiator_id, multiplicity in zip(pair_r, pair_i, pair_m)
+        ]
+        self._ensure_counts()  # the table may have discovered new states
+        counts = self._counts
+        size = counts.shape[0]
+        if involved.shape[0] < size:
+            involved = self._grown(involved, size)
+        # All 2L participants are distinct, so the bulk update is exact:
+        # remove every participant's pre state, add every post state.  The
+        # pairing matrix has at most k^2 nonzero cells (a handful for the
+        # protocols this engine targets), so scalar accumulation beats
+        # np.add.at here.
+        used = np.zeros(size, dtype=np.int64)
+        for (new_responder_id, new_initiator_id), multiplicity in cells:
+            used[new_responder_id] += multiplicity
+            used[new_initiator_id] += multiplicity
+        counts += used
+        counts -= involved
+        # Post states of the participants are all occupied now; once every
+        # registered state has been occupied nothing new can appear without
+        # the encoder growing first, so the update can be skipped entirely.
+        if len(self._ever_occupied) < len(self.encoder):
+            self._ever_occupied.update(np.flatnonzero(used).tolist())
+        applied = length
+        if collide:
+            self._apply_collision(used, 2 * length)
+            applied += 1
+        self.interactions += applied
+        return applied
+
+    def _apply_collision(self, used: np.ndarray, used_total: int) -> None:
+        """Apply the interaction that ended the run (reuses >= 1 participant)."""
+        rng = self._rng
+        counts = self._counts
+        fresh = counts - used  # participants' post states removed
+        fresh_total = self.n - used_total
+        weight_uf = used_total * fresh_total
+        weight_uu = used_total * (used_total - 1)
+        pick = float(rng.random()) * (2 * weight_uf + weight_uu)
+        if pick < weight_uf:
+            responder_id = self._sample_multiset(used, used_total)
+            initiator_id = self._sample_multiset(fresh, fresh_total)
+        elif pick < 2 * weight_uf:
+            responder_id = self._sample_multiset(fresh, fresh_total)
+            initiator_id = self._sample_multiset(used, used_total)
+        else:
+            responder_id = self._sample_multiset(used, used_total)
+            initiator_id = self._sample_multiset(
+                used, used_total - 1, exclude=responder_id
+            )
+        new_responder_id, new_initiator_id = self.table.apply(
+            responder_id, initiator_id
+        )
+        self._ensure_counts()
+        counts = self._counts
+        if new_responder_id != responder_id:
+            counts[responder_id] -= 1
+            counts[new_responder_id] += 1
+            self._ever_occupied.add(new_responder_id)
+        if new_initiator_id != initiator_id:
+            counts[initiator_id] -= 1
+            counts[new_initiator_id] += 1
+            self._ever_occupied.add(new_initiator_id)
+
+    def _perform_steps(self, count: int) -> None:
+        remaining = int(count)
+        while remaining > 0:
+            remaining -= self._run_batch(remaining)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def state_count_items(self) -> List[Tuple[int, int]]:
+        counts = self._counts
+        return [(int(sid), int(counts[sid])) for sid in np.flatnonzero(counts > 0)]
+
+    def counts_by_output(self):
+        """Vectorised aggregation through the table's output maps."""
+        return self.table.aggregate_counts(self._counts)

@@ -12,11 +12,15 @@ and stores only the counts, sampling at every step
 which reproduces the uniform choice of an ordered pair of distinct agents
 exactly.  The per-step cost is ``O(k)`` where ``k`` is the number of distinct
 occupied states, so this engine shines when the state space is small (the
-classic 2-4 state protocols) and the population is large.
+classic 2-4 state protocols) and the population is large.  For large-``n``
+*throughput* the batched :class:`~repro.engine.count_batch.CountBatchEngine`
+on the same count representation is strictly faster; this engine remains the
+easiest-to-audit configuration-level reference.
 """
 
 from __future__ import annotations
 
+from itertools import groupby
 from typing import List, Tuple
 
 import numpy as np
@@ -24,11 +28,65 @@ import numpy as np
 from repro.engine.base import BaseEngine
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike, make_rng
+from repro.errors import ProtocolError
 
-__all__ = ["CountEngine"]
+__all__ = ["CountEngine", "initial_count_items", "sample_weighted_index"]
 
 #: Number of uniform random deviates pre-drawn per NumPy call.
 _UNIFORM_BLOCK = 1 << 14
+
+
+def sample_weighted_index(weights, target: float, exclude: int = -1) -> int:
+    """Index into ``weights`` sampled proportionally to the weights.
+
+    ``target`` is a uniform deviate pre-scaled by the total weight;
+    ``exclude`` removes one unit of that index from the pool (how the second
+    member of an ordered pair is drawn without replacement).  Shared by the
+    configuration-level engines (:class:`CountEngine` per step,
+    :class:`~repro.engine.count_batch.CountBatchEngine` for its colliding
+    interaction).  Falls back to the last index with mass on floating point
+    slack.
+    """
+    acc = 0.0
+    last = -1
+    for index, weight in enumerate(weights):
+        effective = weight - 1 if index == exclude else weight
+        if effective <= 0:
+            continue
+        last = index
+        acc += effective
+        if target < acc:
+            return index
+    return last
+
+
+def initial_count_items(
+    protocol: PopulationProtocol, n: int
+) -> List[Tuple[object, int]]:
+    """``(state, count)`` pairs of the initial configuration, in order.
+
+    Prefers the protocol's ``O(k)``-memory :meth:`initial_counts` hook and
+    falls back to run-length encoding :meth:`initial_configuration` (initial
+    configurations are almost always a handful of long runs of equal
+    states).  Used by the configuration-level engines so that construction
+    at ``n = 10^7``-``10^8`` does not allocate ``O(n)`` lists.
+    """
+    counts = protocol.initial_counts(n)
+    if counts is not None:
+        items = list(counts.items())
+        total = sum(count for _, count in items)
+        if total != n or any(count < 0 for _, count in items):
+            raise ProtocolError(
+                f"initial_counts of protocol {protocol.name!r} sums to {total} "
+                f"with population size {n} (counts must be non-negative and "
+                "sum to n)"
+            )
+        return [(state, int(count)) for state, count in items if count]
+    configuration = protocol.initial_configuration(n)
+    protocol.validate_configuration(configuration, n)
+    return [
+        (state, sum(1 for _ in run)) for state, run in groupby(configuration)
+    ]
 
 
 class CountEngine(BaseEngine):
@@ -39,17 +97,11 @@ class CountEngine(BaseEngine):
     def __init__(self, protocol: PopulationProtocol, n: int, rng: RngLike = None) -> None:
         super().__init__(protocol, n, rng)
         self._rng = make_rng(rng)
-        canonical = protocol.canonical_states()
-        if canonical is not None:
-            for state in canonical:
-                self.encoder.encode(state)
-        configuration = protocol.initial_configuration(n)
-        protocol.validate_configuration(configuration, n)
         self._counts: List[int] = [0] * len(self.encoder)
-        for state in configuration:
+        for state, count in initial_count_items(protocol, n):
             sid = self._encode_initial(state)
             self._grow_counts()
-            self._counts[sid] += 1
+            self._counts[sid] += count
         self._uniforms = np.empty(0)
         self._cursor = 0
 
@@ -74,40 +126,30 @@ class CountEngine(BaseEngine):
         how the second member of the ordered pair is drawn without
         replacement.
         """
-        target = self._next_uniform() * total
-        acc = 0.0
-        counts = self._counts
-        last_nonzero = -1
-        for sid, count in enumerate(counts):
-            if count == 0:
-                continue
-            effective = count - 1 if sid == exclude else count
-            if effective <= 0:
-                continue
-            last_nonzero = sid
-            acc += effective
-            if target < acc:
-                return sid
-        # Floating point slack: fall back to the last state with mass.
-        return last_nonzero
+        return sample_weighted_index(
+            self._counts, self._next_uniform() * total, exclude
+        )
 
     def _perform_steps(self, count: int) -> None:
+        self._grow_counts()
         counts = self._counts
         n = self.n
+        apply_pair = self.table.apply
+        seen_add = self._ever_occupied.add
         for _ in range(count):
             responder_id = self._sample_state(n)
             initiator_id = self._sample_state(n - 1, exclude=responder_id)
-            new_responder_id, new_initiator_id = self._apply_transition(
-                responder_id, initiator_id
-            )
+            new_responder_id, new_initiator_id = apply_pair(responder_id, initiator_id)
             self._grow_counts()
             counts = self._counts
             if new_responder_id != responder_id:
                 counts[responder_id] -= 1
                 counts[new_responder_id] += 1
+                seen_add(new_responder_id)
             if new_initiator_id != initiator_id:
                 counts[initiator_id] -= 1
                 counts[new_initiator_id] += 1
+                seen_add(new_initiator_id)
             self.interactions += 1
 
     # ------------------------------------------------------------------

@@ -8,33 +8,45 @@ engine class; :func:`auto_engine` implements the ``"auto"`` policy.
 
 Selection policy (see the measured crossovers in ``BENCH_engine.json``):
 
-* ``SequentialEngine`` — per-agent Python loop with memoised transitions.
-  Lowest constant factors among the pure-Python paths; the fastest exact
-  engine for small populations when no C compiler is available.
-* ``FastBatchEngine`` — exact batching.  With its compiled C kernel
-  (available whenever the system has a C compiler, see
+* ``SequentialEngine`` — per-agent Python loop with transitions from the
+  protocol's shared compiled table.  Lowest constant factors among the
+  pure-Python paths; the fastest exact engine for small populations when no
+  C compiler is available.
+* ``FastBatchEngine`` — exact batching over the per-agent array.  With its
+  compiled C kernel (available whenever the system has a C compiler, see
   :mod:`repro.engine._ckernel`) it beats the sequential engine by an order
   of magnitude at *every* population size, so the dispatcher prefers it
   from a few hundred agents up.  Without the kernel it falls back to
   collision-aware NumPy batching, which overtakes the sequential engine
   around ``5 * 10^4`` agents (collision-free runs lengthen like
   ``sqrt(n)``, so its advantage grows with ``n``).
-* ``CountEngine`` — exact, but ``O(k)`` *memory* instead of ``O(n)``.
-  Selected only when the population is so large that per-agent arrays are
-  themselves a burden and the protocol declares a small canonical state
-  space.  It is never the throughput winner.
-* ``BatchEngine`` — approximate multinomial batching.  Never auto-selected:
-  the dispatcher only chooses among exact engines.  Request it explicitly
-  (``engine="batch"``) for quick exploration.
+* ``CountBatchEngine`` — exact in distribution, ``O(k)`` memory, and
+  processes collision-free runs of ``Θ(sqrt(n))`` interactions per
+  ``O(k^2)`` update.  For protocols that declare a small canonical state
+  space it overtakes even the C kernel once the per-agent array outgrows
+  the CPU caches (measured crossover ``~3*10^6`` agents — used as a single
+  kernel-independent threshold so seed-pinned ``auto`` results agree across
+  machines), and it is the only engine that reaches ``n = 10^8`` without
+  ``O(n)`` memory.
+* ``CountEngine`` — exact, ``O(k)`` memory, one ordered pair per step.
+  Never the throughput winner; kept as the easiest-to-audit
+  configuration-level reference and never auto-selected (count-batch
+  dominates it wherever counts help).
+* ``BatchEngine`` — **approximate** multinomial batching, superseded by
+  ``CountBatchEngine`` for large-n exploration.  Never auto-selected, and
+  requesting it by name emits a :class:`FutureWarning`; it survives as
+  the ablation baseline quantifying what giving up exactness would buy.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Type, Union
 
 from repro.engine._ckernel import kernel_available
 from repro.engine.base import BaseEngine
 from repro.engine.batch_engine import BatchEngine
+from repro.engine.count_batch import CountBatchEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.engine.fast_batch import FastBatchEngine
@@ -54,6 +66,7 @@ __all__ = [
 ENGINE_REGISTRY: Dict[str, Type[BaseEngine]] = {
     "sequential": SequentialEngine,
     "count": CountEngine,
+    "countbatch": CountBatchEngine,
     "batch": BatchEngine,
     "fastbatch": FastBatchEngine,
 }
@@ -73,13 +86,23 @@ _FASTBATCH_MIN_N = 50_000
 #: choice is irrelevant) keep the reference engine.
 _FASTBATCH_MIN_N_CKERNEL = 256
 
-#: Population size above which O(n) per-agent arrays are considered a memory
-#: burden, making the O(k)-memory count engine attractive ...
-_COUNT_MEMORY_MIN_N = 1 << 27
+#: Population size above which the configuration-space batched engine beats
+#: the fast-batch engine's C kernel (the per-agent array falls out of cache
+#: while count-batch work per interaction keeps shrinking like 1/sqrt(n);
+#: measured on the epidemic workload, see BENCH_engine.json: ~equal at
+#: 3*10^6, count-batch ~2.5x ahead at 10^7).  Deliberately NOT lowered when
+#: the kernel is missing even though count-batch overtakes the NumPy wave
+#: path already around 2*10^5: below this single threshold every auto
+#: choice is in the bit-for-bit sequential-identical engine family, so
+#: seed-pinned results agree across machines with and without a C compiler
+#: (the price is at most ~2x throughput for compiler-less users in the
+#: 2*10^5..3*10^6 range — they can opt into engine="countbatch" explicitly).
+_COUNTBATCH_MIN_N = 3_000_000
 
-#: ... provided the protocol declares at most this many canonical states
-#: (the count engine's per-step cost is linear in the state-space size).
-_COUNT_MAX_STATES = 64
+#: Count-based dispatch requires the protocol to declare at most this many
+#: canonical states (per-batch cost grows with the square of the occupied
+#: state count; lazily discovered state spaces are assumed large).
+_COUNTBATCH_MAX_STATES = 64
 
 
 def state_space_size(protocol: PopulationProtocol) -> Optional[int]:
@@ -100,11 +123,13 @@ def auto_engine(protocol: PopulationProtocol, n: int) -> Type[BaseEngine]:
     The policy is a measured throughput/memory trade-off, documented in
     this module's docstring; approximate engines are never returned.
     """
-    if n >= _COUNT_MEMORY_MIN_N:
-        states = state_space_size(protocol)
-        if states is not None and states <= _COUNT_MAX_STATES:
-            return CountEngine
-    threshold = _FASTBATCH_MIN_N_CKERNEL if kernel_available() else _FASTBATCH_MIN_N
+    states = state_space_size(protocol)
+    if states is not None and states <= _COUNTBATCH_MAX_STATES:
+        if n >= _COUNTBATCH_MIN_N:
+            return CountBatchEngine
+    threshold = (
+        _FASTBATCH_MIN_N_CKERNEL if kernel_available() else _FASTBATCH_MIN_N
+    )
     if n >= threshold:
         return FastBatchEngine
     return SequentialEngine
@@ -134,6 +159,18 @@ def resolve_engine(
                     "engine='auto' needs a protocol and a population size to dispatch on"
                 )
             return auto_engine(protocol, n)
+        if name == "batch":
+            # FutureWarning, not DeprecationWarning: the latter is hidden by
+            # Python's default filters outside __main__, which would silence
+            # the notice exactly where it matters (the CLI path).
+            warnings.warn(
+                "engine='batch' is approximate and superseded by "
+                "'countbatch' (exact in distribution, O(k) memory) for "
+                "large-n exploration; 'batch' is kept as an ablation "
+                "baseline only",
+                FutureWarning,
+                stacklevel=2,
+            )
         try:
             return ENGINE_REGISTRY[name]
         except KeyError:

@@ -3,10 +3,11 @@
 :class:`SequentialEngine` is the reference implementation of the
 probabilistic population-protocol model: one uniformly random ordered pair of
 distinct agents interacts per step.  Agent states are stored as integer
-identifiers in a flat Python list; the deterministic transition function is
-memoised on identifier pairs (see :class:`repro.engine.base.BaseEngine`), so
-the per-interaction cost is two list reads, one dict lookup and two list
-writes.  Randomness is drawn from NumPy in blocks.
+identifiers in a flat Python list; the deterministic transition function
+comes from the protocol's shared compiled
+:class:`~repro.engine.table.TransitionTable` (its ``delta`` dict is the
+scalar hot-path lookup), so the per-interaction cost is two list reads, one
+dict lookup and two list writes.  Randomness is drawn from NumPy in blocks.
 """
 
 from __future__ import annotations
@@ -61,9 +62,15 @@ class SequentialEngine(BaseEngine):
         if count <= 0:
             return
         agent_states = self._agent_states
+        # The shared table may hold transitions compiled by another engine on
+        # the same protocol (ids this run has not seen); size the per-run
+        # arrays up front so dict hits can never index out of range.  Entries
+        # compiled mid-run grow them through the miss branch below.
+        self._grow_counts()
         counts = self._counts
-        cache = self._transition_cache
-        apply_transition = self._apply_transition
+        delta = self.table.delta
+        apply_pair = self.table.apply
+        seen_add = self._ever_occupied.add
         remaining = count
         while remaining > 0:
             chunk = min(remaining, _CHUNK)
@@ -73,20 +80,21 @@ class SequentialEngine(BaseEngine):
             for a, b in zip(responder_list, initiator_list):
                 responder_id = agent_states[a]
                 initiator_id = agent_states[b]
-                key = (responder_id, initiator_id)
-                result = cache.get(key)
+                result = delta.get((responder_id, initiator_id))
                 if result is None:
-                    result = apply_transition(responder_id, initiator_id)
+                    result = apply_pair(responder_id, initiator_id)
                     self._grow_counts()
                 new_responder_id, new_initiator_id = result
                 if new_responder_id != responder_id:
                     agent_states[a] = new_responder_id
                     counts[responder_id] -= 1
                     counts[new_responder_id] += 1
+                    seen_add(new_responder_id)
                 if new_initiator_id != initiator_id:
                     agent_states[b] = new_initiator_id
                     counts[initiator_id] -= 1
                     counts[new_initiator_id] += 1
+                    seen_add(new_initiator_id)
             remaining -= chunk
             self.interactions += chunk
 

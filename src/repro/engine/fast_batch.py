@@ -38,8 +38,9 @@ Per block the engine
    applying the waves in order — every sampled pair exactly once, none
    dropped or duplicated — reproduces the sequential order exactly, and
 4. applies each wave in bulk: agent states are gathered into arrays, the
-   transition is evaluated through a dense ``(state, state) -> state`` lookup
-   table (filled lazily from the memoised transition function), and the new
+   transition is evaluated through the protocol's shared compiled
+   :class:`~repro.engine.table.TransitionTable` (its packed dense lookup
+   array, filled lazily on first use of each state pair), and the new
    states are scattered back.  State counts are not maintained per step;
    they are recomputed lazily with one ``numpy.bincount`` whenever the
    configuration is inspected (convergence checks run once per ~``n``
@@ -95,9 +96,6 @@ __all__ = [
 #: chunk size so that both engines consume the shared randomness stream in
 #: identical draws (the basis of the identical-trajectory guarantee).
 _BLOCK = 1 << 14
-
-#: Initial side length of the square transition lookup tables.
-_LUT_INITIAL = 64
 
 
 #: Fixpoint iteration cap for :func:`wave_depths`; blocks whose dependency
@@ -299,6 +297,11 @@ class FastBatchEngine(BaseEngine):
         self._sampler = PairSampler(n, make_rng(rng))
         configuration = protocol.initial_configuration(n)
         protocol.validate_configuration(configuration, n)
+        # Ever-occupied tracking as a dense byte mask (indexed by state id,
+        # sized with the shared table) instead of the base class's Python
+        # set: the NumPy waves mark whole changed-id arrays at once and the C
+        # kernel marks outputs with two byte stores per interaction.
+        self._seen = np.zeros(self.table.capacity, dtype=np.uint8)
         # int32 keeps the per-agent array (the hot gather/scatter target)
         # twice as cache-dense as int64; state identifiers are tiny.  Initial
         # configurations are almost always a handful of long runs of equal
@@ -321,60 +324,25 @@ class FastBatchEngine(BaseEngine):
             self._agent_states, minlength=len(self.encoder)
         )
         self._cached_counts_stamp = 0
-        # Flat transition lookup table: entry ``r * cap + i`` holds
-        # ``(new_r << 32) | new_i`` (both ids are < 2^31), or -1 when the
-        # pair has not been evaluated yet.  Packing both outputs into one
-        # int64 halves the number of gathers on the hot path.
-        self._lut_cap = max(_LUT_INITIAL, len(self.encoder))
-        self._lut_packed = np.full(self._lut_cap * self._lut_cap, -1, dtype=np.int64)
 
     # ------------------------------------------------------------------
-    # Lookup-table maintenance
+    # Occupancy tracking (mask-based override of the base set)
     # ------------------------------------------------------------------
-    def _grow_lut(self, size: int) -> None:
-        cap = self._lut_cap
-        new_cap = max(size, 2 * cap)
-        grown = np.full(new_cap * new_cap, -1, dtype=np.int64)
-        grown.reshape(new_cap, new_cap)[:cap, :cap] = self._lut_packed.reshape(cap, cap)
-        self._lut_packed = grown
-        self._lut_cap = new_cap
+    def _ensure_seen(self) -> None:
+        """Grow the seen mask to the shared table's current capacity."""
+        capacity = self.table.capacity
+        if self._seen.shape[0] < capacity:
+            grown = np.zeros(capacity, dtype=np.uint8)
+            grown[: self._seen.shape[0]] = self._seen
+            self._seen = grown
 
-    def _register_pair(self, responder_id: int, initiator_id: int) -> None:
-        """Evaluate and memoise the transition for one state pair."""
-        new_responder_id, new_initiator_id = self._apply_transition(
-            responder_id, initiator_id
-        )
-        if len(self.encoder) > self._lut_cap:
-            self._grow_lut(len(self.encoder))
-        self._lut_packed[responder_id * self._lut_cap + initiator_id] = (
-            new_responder_id << 32
-        ) | new_initiator_id
+    def _mark_occupied(self, sid: int) -> None:
+        self._ensure_seen()
+        self._seen[sid] = 1
 
-    def _lookup_block(
-        self, responder_ids: np.ndarray, initiator_ids: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorised transition on state-id arrays, filling LUT misses."""
-        # The scalar fallback registers new states in the encoder without
-        # touching the LUT; grow it first so that ids >= the old capacity
-        # cannot alias other cells of the flattened table.
-        if len(self.encoder) > self._lut_cap:
-            self._grow_lut(len(self.encoder))
-        cap = self._lut_cap
-        # State ids are int32; while cap^2 fits in int32 the flat index can be
-        # computed without widening (one fewer full-array pass on the hot path).
-        if cap < 46_341:  # floor(sqrt(2^31))
-            flat = responder_ids * np.int32(cap) + initiator_ids
-        else:
-            flat = responder_ids.astype(np.int64) * cap + initiator_ids
-        packed = self._lut_packed.take(flat)
-        if int(packed.min()) < 0:
-            for key in np.unique(flat[packed < 0]).tolist():
-                self._register_pair(*divmod(int(key), cap))
-            if self._lut_cap != cap:
-                cap = self._lut_cap
-                flat = responder_ids.astype(np.int64) * cap + initiator_ids
-            packed = self._lut_packed.take(flat)
-        return packed >> np.int64(32), packed & np.int64(0xFFFFFFFF)
+    @property
+    def states_ever_occupied(self) -> int:
+        return int(np.count_nonzero(self._seen))
 
     # ------------------------------------------------------------------
     # Stepping
@@ -386,19 +354,25 @@ class FastBatchEngine(BaseEngine):
         states = self._agent_states
         responder_ids = states[agents_r]
         initiator_ids = states[agents_i]
-        new_responder_ids, new_initiator_ids = self._lookup_block(
+        new_responder_ids, new_initiator_ids = self.table.apply_block(
             responder_ids, initiator_ids
         )
+        self._ensure_seen()
+        seen = self._seen
         # All agent indices in the set are distinct, so the two scatters
         # below cannot overlap and the gather above saw pre-set states.
         # Scattering only the changed entries pays off massively once a
         # protocol approaches quiescence (most transitions are identities).
         changed = new_responder_ids != responder_ids
         if changed.any():
-            states[agents_r[changed]] = new_responder_ids[changed]
+            changed_ids = new_responder_ids[changed]
+            states[agents_r[changed]] = changed_ids
+            seen[changed_ids] = 1
         changed = new_initiator_ids != initiator_ids
         if changed.any():
-            states[agents_i[changed]] = new_initiator_ids[changed]
+            changed_ids = new_initiator_ids[changed]
+            states[agents_i[changed]] = changed_ids
+            seen[changed_ids] = 1
 
     def _apply_block_scalar(self, responders: np.ndarray, initiators: np.ndarray) -> None:
         """Scalar fallback mirroring the sequential engine's inner loop.
@@ -408,44 +382,53 @@ class FastBatchEngine(BaseEngine):
         Consumes no randomness, so the engine's stream stays aligned.
         """
         states = self._agent_states.tolist()
-        cache = self._transition_cache
-        apply_transition = self._apply_transition
+        table = self.table
+        delta = table.delta
+        apply_pair = table.apply
         for agent_r, agent_i in zip(responders.tolist(), initiators.tolist()):
             responder_id = states[agent_r]
             initiator_id = states[agent_i]
-            result = cache.get((responder_id, initiator_id))
+            result = delta.get((responder_id, initiator_id))
             if result is None:
-                result = apply_transition(responder_id, initiator_id)
+                result = apply_pair(responder_id, initiator_id)
+            new_responder_id, new_initiator_id = result
+            if new_responder_id != responder_id:
+                self._mark_occupied(new_responder_id)
+            if new_initiator_id != initiator_id:
+                self._mark_occupied(new_initiator_id)
             states[agent_r], states[agent_i] = result
         self._agent_states = np.asarray(states, dtype=np.int32)
-        if len(self.encoder) > self._lut_cap:
-            self._grow_lut(len(self.encoder))
 
     def _apply_block_c(self, responders: np.ndarray, initiators: np.ndarray) -> None:
         """Apply one block through the compiled sequential kernel.
 
         The kernel stops at the first lookup-table miss and reports its
-        index; the missing pair is evaluated in Python with the *current*
-        agent states (so encoder registration and ``states_ever_occupied``
-        behave exactly like the scalar engines) and the kernel resumes.
+        index; the missing pair is compiled into the shared table in Python
+        with the *current* agent states (so encoder registration behaves
+        exactly like the scalar engines) and the kernel resumes.  The kernel
+        also marks every applied transition's outputs in the seen mask, so
+        ``states_ever_occupied`` stays exact on this path too.
         """
         kernel = self._c_kernel
+        table = self.table
         m = int(responders.shape[0])
         start = 0
         while True:
             states = self._agent_states
+            self._ensure_seen()
             start = kernel(
                 states.ctypes.data,
                 responders.ctypes.data,
                 initiators.ctypes.data,
                 m,
                 start,
-                self._lut_packed.ctypes.data,
-                self._lut_cap,
+                table.packed.ctypes.data,
+                table.capacity,
+                self._seen.ctypes.data,
             )
             if start >= m:
                 return
-            self._register_pair(
+            table.apply(
                 int(states[responders[start]]), int(states[initiators[start]])
             )
 
@@ -496,6 +479,10 @@ class FastBatchEngine(BaseEngine):
     def state_count_items(self) -> List[Tuple[int, int]]:
         counts = self._current_counts()
         return [(int(sid), int(counts[sid])) for sid in np.flatnonzero(counts > 0)]
+
+    def counts_by_output(self):
+        """Vectorised aggregation through the table's output maps."""
+        return self.table.aggregate_counts(self._current_counts())
 
     def agent_state(self, index: int):
         """State of agent ``index`` (useful in tests and traces)."""

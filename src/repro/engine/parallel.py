@@ -8,9 +8,11 @@ parameter objects derived from ``n`` and are cheap to construct.
 
 The engine is an explicit sweep parameter: pass ``engine="auto"`` to let
 :func:`repro.engine.dispatch.auto_engine` pick the fastest exact engine per
-population size (the choice can differ between the sizes of one sweep).
-Engine names and classes both pickle, so the parameter survives the process
-pool untouched.
+population size (the choice can differ between the sizes of one sweep — a
+``ns=[10^4, 10^7]`` sweep runs the small size on the fast-batch kernel and
+the large one on the configuration-space ``countbatch`` engine).  Engine
+names and classes both pickle, so the parameter survives the process pool
+untouched.
 """
 
 from __future__ import annotations

@@ -21,10 +21,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.errors import ProtocolError
 from repro.types import State, TransitionResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.state import StateEncoder
+    from repro.engine.table import TransitionTable
 
 __all__ = ["PopulationProtocol", "ProtocolSpec", "LEADER_OUTPUT", "FOLLOWER_OUTPUT"]
 
@@ -90,6 +94,39 @@ class PopulationProtocol(abc.ABC):
         """Optionally enumerate the full state space (used by count engines
         to pre-register states); ``None`` means "discover lazily"."""
         return None
+
+    def initial_counts(self, n: int) -> Optional[Dict[State, int]]:
+        """Optional ``{state: count}`` form of the initial configuration.
+
+        Configuration-level engines (``CountEngine``, ``CountBatchEngine``)
+        prefer this hook because it needs ``O(k)`` memory instead of the
+        ``O(n)`` list built by :meth:`initial_configuration` — the difference
+        between fitting ``n = 10^8`` in a few kilobytes and allocating
+        gigabytes.  The default ``None`` makes those engines fall back to
+        :meth:`initial_configuration`.  Counts must be non-negative and sum
+        to ``n``.
+        """
+        return None
+
+    def compile(self, encoder: Optional["StateEncoder"] = None) -> "TransitionTable":
+        """Lower this protocol to a packed :class:`TransitionTable` IR.
+
+        With no ``encoder`` argument the compiled table is cached on the
+        protocol instance, so every engine built on the same protocol object
+        shares one table (scalar ``delta`` dict, packed LUT and output maps)
+        — the basis of the engines' shared-transition guarantee and a warm
+        start for repeated runs.  Passing an ``encoder`` always builds a
+        fresh, uncached table on top of it.
+        """
+        from repro.engine.table import TransitionTable
+
+        if encoder is not None:
+            return TransitionTable(self, encoder)
+        table = self.__dict__.get("_compiled_table")
+        if table is None:
+            table = TransitionTable(self)
+            self._compiled_table = table
+        return table
 
     def describe_state(self, state: State) -> str:
         """Human readable rendering of a state (for traces and debugging)."""

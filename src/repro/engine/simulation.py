@@ -196,8 +196,11 @@ def run_protocol(
     """Run ``protocol`` on ``n`` agents and return the :class:`RunResult`.
 
     ``engine_cls`` accepts an engine class, a registry name (``"sequential"``,
-    ``"count"``, ``"batch"``, ``"fastbatch"``) or ``"auto"`` to dispatch on
-    ``(protocol, n)`` — see :mod:`repro.engine.dispatch`.
+    ``"count"``, ``"countbatch"``, ``"fastbatch"``, ``"batch"``) or
+    ``"auto"`` to dispatch on ``(protocol, n)`` — see
+    :mod:`repro.engine.dispatch`.  For ``n >= 10^7`` population sizes use
+    ``"countbatch"`` (or ``"auto"``): it is exact in distribution, needs
+    ``O(k)`` memory, and beats the C kernel's throughput there.
 
     This is the main one-call entry point of the simulation substrate::
 

@@ -1,0 +1,243 @@
+"""Compiled transition-table intermediate representation (IR).
+
+A :class:`TransitionTable` is the lowered, engine-agnostic form of a
+:class:`~repro.engine.protocol.PopulationProtocol`: protocol states are
+encoded as small consecutive integers (via a :class:`StateEncoder`), the
+deterministic transition function is memoised into **one shared pair of
+structures** —
+
+* ``delta`` — a plain ``{(responder_id, initiator_id): (responder_id',
+  initiator_id')}`` dictionary, the fastest lookup for scalar Python hot
+  loops, and
+* ``packed`` — a dense flat ``(capacity x capacity)`` ``int64`` array whose
+  entry ``r * capacity + i`` holds ``(r' << 32) | i'`` (``-1`` when the pair
+  has not been compiled yet), the gather target for vectorised NumPy paths
+  and the lookup table consumed directly by the C kernel —
+
+and the output function is memoised into vectorised output maps (state id →
+output-symbol id, plus the symbol interning tables), so configuration-level
+engines can aggregate outputs with one ``bincount``.
+
+Tables are *lazily extended*: new states and new state pairs are compiled on
+first use, and the packed array doubles its side length when the encoder
+outgrows it.  Protocols that declare :meth:`canonical_states` get those
+states registered eagerly at compile time, which makes state-identifier
+layout (and therefore the trajectories of the count-based engines, which
+sample by identifier order) independent of per-run discovery order.
+
+Every engine obtains its table through
+:meth:`PopulationProtocol.compile() <repro.engine.protocol.PopulationProtocol.compile>`,
+which caches one table per protocol instance — engines built on the same
+protocol object therefore share compiled transitions (a warm start for
+multi-seed sweeps).  Sharing is sound because transition functions are
+required to be pure and deterministic; per-run quantities (state counts,
+ever-occupied tracking, interaction counters) stay in the engines.  For
+bit-reproducible *count-engine* runs construct a fresh protocol instance per
+run (all sweep drivers already do), since identifier layout for lazily
+discovered states depends on the table's compilation history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.state import StateEncoder
+from repro.errors import TransitionError
+
+__all__ = ["TransitionTable"]
+
+#: Initial side length of the packed lookup array.
+_INITIAL_CAPACITY = 64
+
+#: ``floor(sqrt(2**31))`` — while the capacity is below this, flat indices
+#: into the packed array fit in int32 and need no widening pass.
+_INT32_SAFE_CAPACITY = 46_341
+
+
+class TransitionTable:
+    """Packed, lazily extended transition/output tables over encoded states.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to lower.  Its :meth:`canonical_states`, when declared,
+        are registered eagerly so identifier layout is deterministic.
+    encoder:
+        Optional pre-existing :class:`StateEncoder` to build on; a fresh one
+        is created when omitted.
+    """
+
+    def __init__(self, protocol, encoder: Optional[StateEncoder] = None) -> None:
+        self.protocol = protocol
+        self.encoder = encoder if encoder is not None else StateEncoder()
+        canonical = protocol.canonical_states()
+        if canonical is not None:
+            for state in canonical:
+                self.encoder.encode(state)
+        #: Scalar transition memo shared by every engine on this protocol.
+        self.delta: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._capacity = max(_INITIAL_CAPACITY, len(self.encoder))
+        self._packed = np.full(self._capacity * self._capacity, -1, dtype=np.int64)
+        # Output maps: per-state symbol memo plus interned symbol ids for the
+        # vectorised aggregation path.
+        self._output_symbols: List[Optional[str]] = []
+        self._symbols: List[str] = []
+        self._symbol_ids: Dict[str, int] = {}
+        self._output_ids = np.full(self._capacity, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # State registration and capacity
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Side length of the packed lookup array (>= number of states)."""
+        return self._capacity
+
+    @property
+    def packed(self) -> np.ndarray:
+        """The flat packed transition array (consumed by the C kernel)."""
+        return self._packed
+
+    @property
+    def compiled_pairs(self) -> int:
+        """Number of state pairs whose transition has been compiled."""
+        return len(self.delta)
+
+    def __len__(self) -> int:
+        return len(self.encoder)
+
+    def encode(self, state) -> int:
+        """Register ``state`` (growing the packed arrays) and return its id."""
+        sid = self.encoder.encode(state)
+        if len(self.encoder) > self._capacity:
+            self._grow(len(self.encoder))
+        return sid
+
+    def _grow(self, size: int) -> None:
+        capacity = self._capacity
+        new_capacity = max(size, 2 * capacity)
+        grown = np.full(new_capacity * new_capacity, -1, dtype=np.int64)
+        grown.reshape(new_capacity, new_capacity)[:capacity, :capacity] = (
+            self._packed.reshape(capacity, capacity)
+        )
+        self._packed = grown
+        grown_outputs = np.full(new_capacity, -1, dtype=np.int64)
+        grown_outputs[:capacity] = self._output_ids
+        self._output_ids = grown_outputs
+        self._capacity = new_capacity
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def _compile_pair(self, responder_id: int, initiator_id: int) -> Tuple[int, int]:
+        """Evaluate one state pair and enter it into ``delta`` and ``packed``."""
+        responder = self.encoder.decode(responder_id)
+        initiator = self.encoder.decode(initiator_id)
+        try:
+            new_responder, new_initiator = self.protocol.transition(responder, initiator)
+        except Exception as exc:  # pragma: no cover - defensive
+            raise TransitionError(responder, initiator, str(exc)) from exc
+        new_responder_id = self.encoder.encode(new_responder)
+        new_initiator_id = self.encoder.encode(new_initiator)
+        if len(self.encoder) > self._capacity:
+            self._grow(len(self.encoder))
+        result = (new_responder_id, new_initiator_id)
+        self.delta[(responder_id, initiator_id)] = result
+        self._packed[responder_id * self._capacity + initiator_id] = (
+            new_responder_id << 32
+        ) | new_initiator_id
+        return result
+
+    def apply(self, responder_id: int, initiator_id: int) -> Tuple[int, int]:
+        """Compiled transition on one pair of state ids (compiling on miss)."""
+        result = self.delta.get((responder_id, initiator_id))
+        if result is not None:
+            return result
+        return self._compile_pair(responder_id, initiator_id)
+
+    def apply_block(
+        self, responder_ids: np.ndarray, initiator_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised transition on state-id arrays, compiling misses.
+
+        Accepts int32 or int64 id arrays and returns two int64 arrays of new
+        state ids.  While the capacity is small enough, int32 inputs avoid a
+        widening pass on the hot path.
+        """
+        capacity = self._capacity
+        if responder_ids.dtype == np.int32 and capacity < _INT32_SAFE_CAPACITY:
+            flat = responder_ids * np.int32(capacity) + initiator_ids
+        else:
+            flat = responder_ids.astype(np.int64) * np.int64(capacity) + initiator_ids
+        packed = self._packed.take(flat)
+        if packed.size and int(packed.min()) < 0:
+            for key in np.unique(flat[packed < 0]).tolist():
+                self._compile_pair(*divmod(int(key), capacity))
+            if self._capacity != capacity:
+                capacity = self._capacity
+                flat = responder_ids.astype(np.int64) * capacity + initiator_ids
+            packed = self._packed.take(flat)
+        return packed >> np.int64(32), packed & np.int64(0xFFFFFFFF)
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def output_of(self, sid: int) -> str:
+        """Output symbol of the state registered under ``sid`` (memoised)."""
+        symbols = self._output_symbols
+        while len(symbols) < len(self.encoder):
+            symbols.append(None)
+        symbol = symbols[sid]
+        if symbol is None:
+            symbol = self.protocol.output(self.encoder.decode(sid))
+            symbols[sid] = symbol
+            symbol_id = self._symbol_ids.get(symbol)
+            if symbol_id is None:
+                symbol_id = len(self._symbols)
+                self._symbol_ids[symbol] = symbol_id
+                self._symbols.append(symbol)
+            self._output_ids[sid] = symbol_id
+        return symbol
+
+    @property
+    def symbols(self) -> List[str]:
+        """Distinct output symbols seen so far, in interning order."""
+        return list(self._symbols)
+
+    def output_id_array(self, size: int) -> np.ndarray:
+        """``state id -> output-symbol id`` map for ids ``< size``.
+
+        Forces memoisation of any not-yet-evaluated outputs, so the returned
+        array (a view into the table) contains no ``-1`` entries below
+        ``size``.
+        """
+        ids = self._output_ids
+        for sid in np.flatnonzero(ids[:size] < 0).tolist():
+            self.output_of(sid)
+        return self._output_ids[:size]
+
+    def aggregate_counts(self, counts: np.ndarray) -> Dict[str, int]:
+        """Aggregate a dense state-count vector by output symbol.
+
+        One gather plus one ``bincount`` — the vectorised counterpart of the
+        per-state loop in :meth:`BaseEngine.counts_by_output`.
+        """
+        size = int(counts.shape[0])
+        if size == 0:
+            return {}
+        output_ids = self.output_id_array(size)
+        totals = np.bincount(output_ids, weights=counts, minlength=len(self._symbols))
+        return {
+            symbol: int(totals[symbol_id])
+            for symbol_id, symbol in enumerate(self._symbols)
+            if totals[symbol_id]
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TransitionTable protocol={getattr(self.protocol, 'name', '?')!r} "
+            f"states={len(self.encoder)} pairs={self.compiled_pairs} "
+            f"capacity={self._capacity}>"
+        )

@@ -55,9 +55,18 @@ class ApproximateMajority(PopulationProtocol):
         return _A
 
     def initial_configuration(self, n: int) -> Sequence[str]:
-        a_count = int(round(self.initial_a_fraction * n))
-        a_count = min(max(a_count, 0), n)
+        a_count = self._initial_a_count(n)
         return [_A] * a_count + [_B] * (n - a_count)
+
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        a_count = self._initial_a_count(n)
+        return {_A: a_count, _B: n - a_count}
+
+    def _initial_a_count(self, n: int) -> int:
+        a_count = int(round(self.initial_a_fraction * n))
+        return min(max(a_count, 0), n)
 
     def transition(self, responder: str, initiator: str):
         if responder == _A and initiator == _B:

@@ -45,6 +45,15 @@ class OneWayEpidemic(PopulationProtocol):
             )
         return [_INFORMED] * self.sources + [_SUSCEPTIBLE] * (n - self.sources)
 
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        if self.sources > n:
+            raise ConfigurationError(
+                f"sources={self.sources} exceeds population size {n}"
+            )
+        return {_INFORMED: self.sources, _SUSCEPTIBLE: n - self.sources}
+
     def transition(self, responder: str, initiator: str):
         if responder == _SUSCEPTIBLE and initiator == _INFORMED:
             return _INFORMED, initiator

@@ -1,12 +1,13 @@
 """Cross-engine distributional equivalence tests.
 
-The three exact engines — :class:`SequentialEngine`, :class:`CountEngine`
-and :class:`FastBatchEngine` — implement the same probabilistic model with
-different data structures, so the *distribution* of any run statistic must
-agree across them.  The tests here pin that down on two classic small
-protocols (one-way epidemic, 3-state approximate majority): each engine
-produces a sample of convergence times over its own disjoint range of seeds,
-and the samples are compared pairwise with a two-sample KS test
+The four exact engines — :class:`SequentialEngine`, :class:`CountEngine`,
+:class:`FastBatchEngine` and :class:`CountBatchEngine` — implement the same
+probabilistic model with different data structures, so the *distribution* of
+any run statistic must agree across them.  The tests here pin that down on
+three workloads (one-way epidemic, 3-state approximate majority, and the
+paper's GSU19 leader-election protocol): each engine produces a sample of
+convergence times over its own disjoint range of seeds, and the samples are
+compared pairwise with a two-sample KS test
 (:func:`repro.analysis.stats.ks_two_sample`, which falls back to an
 asymptotic NumPy implementation when SciPy is unavailable) plus the
 dependency-free quantile-profile distance.
@@ -15,6 +16,10 @@ Disjoint seed ranges matter: the fast-batch engine reproduces the sequential
 engine's trajectories *bit for bit* for equal seeds (that stronger property
 is covered in ``test_engine_fast_batch.py``), so equal seeds would make the
 KS comparison trivially degenerate rather than a genuine two-sample test.
+The count-batch engine consumes randomness through entirely different draws
+(hypergeometric run batching), so for it the distributional comparison is
+the *only* equivalence check available — which is exactly why it is in this
+suite.
 
 All tests are deterministic (fixed seed ranges), so the asserted p-value
 thresholds cannot flake; the thresholds are generous (p > 0.01) because a
@@ -25,19 +30,21 @@ many-seed versions are marked ``slow`` and excluded from tier-1 runs (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 import pytest
 
 from repro.analysis.stats import ks_two_sample, quantile_profile_distance
+from repro.core.protocol import GSULeaderElection
 from repro.engine.base import BaseEngine
+from repro.engine.count_batch import CountBatchEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.engine.fast_batch import FastBatchEngine
 from repro.protocols.approximate_majority import ApproximateMajority
 from repro.protocols.epidemic import OneWayEpidemic
 
-EXACT_ENGINES = (SequentialEngine, CountEngine, FastBatchEngine)
+EXACT_ENGINES = (SequentialEngine, CountEngine, FastBatchEngine, CountBatchEngine)
 
 #: Engine -> seed offset; disjoint ranges keep the samples independent.
 _SEED_STRIDE = 100_000
@@ -54,11 +61,21 @@ def _majority_done(engine: BaseEngine) -> bool:
     return counts.get("A", 0) == 0 or counts.get("B", 0) == 0
 
 
-#: name -> (protocol factory, convergence predicate).  Small populations keep
-#: the per-seed cost tiny; the statistics come from the number of seeds.
+def _single_leader(engine: BaseEngine) -> bool:
+    return engine.leader_count() == 1
+
+
+#: name -> (protocol factory over n, convergence predicate, parallel-time
+#: budget).  Small populations keep the per-seed cost tiny; the statistics
+#: come from the number of seeds.
 WORKLOADS: Dict[str, tuple] = {
-    "epidemic": (lambda: OneWayEpidemic(), _epidemic_done),
-    "majority": (lambda: ApproximateMajority(initial_a_fraction=0.7), _majority_done),
+    "epidemic": (lambda n: OneWayEpidemic(), _epidemic_done, 400),
+    "majority": (
+        lambda n: ApproximateMajority(initial_a_fraction=0.7),
+        _majority_done,
+        400,
+    ),
+    "gsu19": (lambda n: GSULeaderElection.for_population(n), _single_leader, 4000),
 }
 
 
@@ -71,16 +88,15 @@ def convergence_sample(
     """Convergence times (interactions) of one engine over a range of seeds.
 
     Every engine checks the predicate on the same cadence (every ``n // 4``
-    interactions), so the three samples share the same discretisation and
-    any distributional gap the KS test sees comes from the engines
-    themselves.
+    interactions), so the samples share the same discretisation and any
+    distributional gap the KS test sees comes from the engines themselves.
     """
-    factory, predicate = WORKLOADS[workload]
+    factory, predicate, budget = WORKLOADS[workload]
     times: List[float] = []
     for seed in seeds:
-        engine = engine_cls(factory(), n, rng=seed)
+        engine = engine_cls(factory(n), n, rng=seed)
         converged = engine.run_until(
-            predicate, max_interactions=400 * n, check_every=max(1, n // 4)
+            predicate, max_interactions=budget * n, check_every=max(1, n // 4)
         )
         assert converged, f"{engine_cls.__name__} failed to converge (seed {seed})"
         times.append(float(engine.interactions))
@@ -100,7 +116,7 @@ def _samples_by_engine(workload: str, n: int, repetitions: int) -> Dict[str, Lis
 
 
 # ----------------------------------------------------------------------
-# Tier-1 sanity check: few seeds, coarse thresholds, runs in ~a second.
+# Tier-1 sanity check: few seeds, coarse thresholds, runs in seconds.
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_engines_agree_on_quantile_profiles(workload):
@@ -118,14 +134,16 @@ def test_engines_agree_on_quantile_profiles(workload):
 # The full statistical suite: many seeds, proper KS comparison.
 # ----------------------------------------------------------------------
 @pytest.mark.slow
-@pytest.mark.parametrize("workload,n", [("epidemic", 128), ("majority", 128)])
+@pytest.mark.parametrize(
+    "workload,n", [("epidemic", 128), ("majority", 128), ("gsu19", 128)]
+)
 def test_cross_engine_ks_equivalence(workload, n):
     """Pairwise two-sample KS test over 80 seeds per engine.
 
     With exact engines the p-value is uniform on [0, 1]; the fixed seed
     ranges below were checked to land comfortably above the 0.01 threshold,
     so the assertion is deterministic, not flaky.  A genuinely broken engine
-    (e.g. a collision mishandled by the batched one) shifts convergence
+    (e.g. a collision mishandled by a batched one) shifts convergence
     times by several percent and drives the p-value to ~0 at this sample
     size.
     """

@@ -23,6 +23,7 @@ from repro.engine import (
     run_protocol,
 )
 from repro.engine.batch_engine import BatchEngine
+from repro.engine.count_batch import CountBatchEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.dispatch import _FASTBATCH_MIN_N
 from repro.engine.engine import SequentialEngine
@@ -211,12 +212,12 @@ def test_run_until_convergence_epidemic():
 
 @pytest.mark.parametrize("kernel", ["auto", "numpy"])
 def test_lut_growth_beyond_initial_capacity(kernel):
-    # The GSU protocol for n=1024 uses well over the initial 64-state LUT.
+    # The GSU protocol for n=1024 uses well over the initial 64-state table.
     n = 1024
     engine = FastBatchEngine(GSULeaderElection.for_population(n), n, rng=1, kernel=kernel)
     engine.run(40 * n)
     assert engine.states_ever_occupied > 64
-    assert engine._lut_cap >= engine.states_ever_occupied
+    assert engine.table.capacity >= engine.states_ever_occupied
     assert sum(count for _, count in engine.state_count_items()) == n
 
 
@@ -259,10 +260,13 @@ def test_auto_engine_policy_without_c_kernel(monkeypatch):
     epidemic = OneWayEpidemic()
     assert auto_engine(epidemic, 1024) is SequentialEngine
     assert auto_engine(epidemic, _FASTBATCH_MIN_N) is FastBatchEngine
+    # The countbatch crossover is deliberately kernel-independent so that
+    # seed-pinned auto results agree across machines: below it every choice
+    # is in the bit-for-bit sequential-identical family.
     assert auto_engine(epidemic, 10**6) is FastBatchEngine
-    # Tiny canonical state space + astronomically large population -> count.
-    assert auto_engine(epidemic, 1 << 28) is CountEngine
-    # Lazily discovered state space never dispatches to the count engine.
+    assert auto_engine(epidemic, 10**7) is CountBatchEngine
+    assert auto_engine(epidemic, 1 << 28) is CountBatchEngine
+    # Lazily discovered state space never dispatches to the count engines.
     big_gsu = GSULeaderElection.for_population(1 << 28)
     assert auto_engine(big_gsu, 1 << 28) is FastBatchEngine
 
@@ -274,7 +278,10 @@ def test_auto_engine_policy_with_c_kernel(monkeypatch):
     assert auto_engine(epidemic, 64) is SequentialEngine
     assert auto_engine(epidemic, 1024) is FastBatchEngine
     assert auto_engine(epidemic, 10**6) is FastBatchEngine
-    assert auto_engine(epidemic, 1 << 28) is CountEngine
+    # ... until the per-agent array falls out of cache while count-batch
+    # keeps shrinking per-interaction work like 1/sqrt(n).
+    assert auto_engine(epidemic, 10**7) is CountBatchEngine
+    assert auto_engine(epidemic, 1 << 28) is CountBatchEngine
 
 
 def test_resolve_engine_accepts_names_classes_and_none():
@@ -283,7 +290,11 @@ def test_resolve_engine_accepts_names_classes_and_none():
     assert resolve_engine("sequential") is SequentialEngine
     assert resolve_engine("FASTBATCH") is FastBatchEngine
     assert resolve_engine("count") is CountEngine
-    assert resolve_engine("batch") is BatchEngine
+    assert resolve_engine("countbatch") is CountBatchEngine
+    # FutureWarning so the notice survives Python's default filters on the
+    # CLI path (DeprecationWarning would be silently dropped there).
+    with pytest.warns(FutureWarning, match="superseded by 'countbatch'"):
+        assert resolve_engine("batch") is BatchEngine
     assert resolve_engine(BatchEngine) is BatchEngine
     assert resolve_engine("auto", epidemic, 64) is SequentialEngine
     with pytest.raises(ConfigurationError):
@@ -294,10 +305,41 @@ def test_resolve_engine_accepts_names_classes_and_none():
         resolve_engine(42)
 
 
+def test_batch_engine_class_request_does_not_warn(recwarn):
+    # Only the *name* is deprecated (quick explorations that typed "batch"
+    # should migrate); programmatic class use stays silent.
+    assert resolve_engine(BatchEngine) is BatchEngine
+    assert not [w for w in recwarn.list if issubclass(w.category, FutureWarning)]
+
+
+def test_kernel_cache_dir_resolution(monkeypatch, tmp_path):
+    """Kernel artifacts build into a user cache directory, never the source
+    tree: explicit override first, then XDG, then ~/.cache."""
+    from pathlib import Path
+
+    import repro
+    from repro.engine._ckernel import kernel_cache_dir
+
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "explicit"))
+    assert kernel_cache_dir() == tmp_path / "explicit"
+    monkeypatch.delenv("REPRO_KERNEL_CACHE")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert kernel_cache_dir() == tmp_path / "xdg" / "repro" / "kernels"
+    monkeypatch.delenv("XDG_CACHE_HOME")
+    assert kernel_cache_dir() == Path.home() / ".cache" / "repro" / "kernels"
+    # Whatever it resolves to, it must sit outside the package tree.
+    package_root = Path(repro.__file__).resolve().parent
+    assert package_root not in kernel_cache_dir().resolve().parents
+
+
 def test_registry_and_names_are_consistent():
     assert set(ENGINE_NAMES) == set(ENGINE_REGISTRY) | {"auto"}
     for name, engine_cls in ENGINE_REGISTRY.items():
-        assert resolve_engine(name) is engine_cls
+        if name == "batch":
+            with pytest.warns(FutureWarning):
+                assert resolve_engine(name) is engine_cls
+        else:
+            assert resolve_engine(name) is engine_cls
     # The dispatcher never selects the approximate engine.
     assert BatchEngine not in {
         auto_engine(OneWayEpidemic(), n) for n in (64, 10**4, 10**6, 1 << 28)

@@ -1,0 +1,134 @@
+"""Seed-stability pins: per-(protocol, engine) trajectory digests.
+
+Each exact engine's trajectory is a pure function of ``(protocol, n, seed,
+driver call pattern)``.  These tests hash a short checkpointed trajectory
+for every (protocol, engine) cell and compare against pinned digests, so a
+refactor that silently changes randomness *consumption* — reordering draws,
+adding an extra uniform, changing a block size — fails loudly here even when
+it is distributionally invisible to the KS suite.
+
+The pinned values are platform-stable: NumPy's PCG64 stream is specified,
+state objects hash through ``repr``, and the fast-batch engine's digests are
+identical with and without the C kernel (bit-for-bit guarantee, verified at
+pin time by generating them both ways).  ``sequential``, ``fastbatch`` and
+``fastbatch-numpy`` share one digest per protocol by design — the
+identical-trajectory guarantee in its strongest observable form.
+
+If an INTENTIONAL randomness-consumption change lands (e.g. a different
+sampling scheme), regenerate the pins with
+``python tests/test_engine_trajectory_digests.py`` and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.protocol import GSULeaderElection
+from repro.engine.count_batch import CountBatchEngine
+from repro.engine.count_engine import CountEngine
+from repro.engine.engine import SequentialEngine
+from repro.engine.fast_batch import FastBatchEngine
+from repro.protocols.approximate_majority import ApproximateMajority
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.slow import SlowLeaderElection
+
+_SEED = 20190622
+_CHUNKS = 3
+
+#: protocol name -> (factory, n).  Fresh protocol per run: identifier layout
+#: of lazily discovered states (and hence count-engine trajectories) depends
+#: on the shared table's compilation history.
+PROTOCOLS = {
+    "epidemic": (lambda: OneWayEpidemic(), 256),
+    "majority": (lambda: ApproximateMajority(initial_a_fraction=0.7), 200),
+    "slow-le": (lambda: SlowLeaderElection(), 64),
+    "gsu19": (lambda: GSULeaderElection.for_population(256), 256),
+}
+
+
+def _fastbatch_numpy(protocol, n, rng=None):
+    return FastBatchEngine(protocol, n, rng, kernel="numpy")
+
+
+ENGINES = {
+    "sequential": SequentialEngine,
+    "count": CountEngine,
+    "countbatch": CountBatchEngine,
+    "fastbatch": FastBatchEngine,
+    "fastbatch-numpy": _fastbatch_numpy,
+}
+
+#: The pins.  sequential == fastbatch == fastbatch-numpy per protocol is the
+#: bit-for-bit identical-trajectory guarantee, not an accident.
+EXPECTED = {
+    "epidemic/count": "98c6e8eb1b9b1140c414b83aced5c5a49abe3e452d78b11f0c747c319e979bb8",
+    "epidemic/countbatch": "b96cd061b46bc019f8761d17318c2463b1a71818c182047ac7455a7982c88082",
+    "epidemic/fastbatch": "50e15d297a022ae2ba80dcebc2458a2f43042c1ae0272f0f484ad275c0804551",
+    "epidemic/fastbatch-numpy": "50e15d297a022ae2ba80dcebc2458a2f43042c1ae0272f0f484ad275c0804551",
+    "epidemic/sequential": "50e15d297a022ae2ba80dcebc2458a2f43042c1ae0272f0f484ad275c0804551",
+    "gsu19/count": "d5ff0caf0cd2e01eed7309947e36bc3e21c27fba498fbdc1239aea22415d8382",
+    "gsu19/countbatch": "0d4aed97e0cec4966664c74436d316162a7aa1616175ae5d161f4102bffd2770",
+    "gsu19/fastbatch": "b2244c1533df79e8e4437f8c363793d5d3bcb005e9fcb523c68d34380a5cf84d",
+    "gsu19/fastbatch-numpy": "b2244c1533df79e8e4437f8c363793d5d3bcb005e9fcb523c68d34380a5cf84d",
+    "gsu19/sequential": "b2244c1533df79e8e4437f8c363793d5d3bcb005e9fcb523c68d34380a5cf84d",
+    "majority/count": "fe1820ccbbc45b1249bfb349475cd09111975d1d0b4d4abddf5572a804826100",
+    "majority/countbatch": "13fb2bfec03a927ba86872884adfd445b50361fad7135799dd4a413363751aa8",
+    "majority/fastbatch": "e8e45fccc8f1907bf08aa37c1fe41f0cfb383b90f5525fcdf86a75af7a3e832e",
+    "majority/fastbatch-numpy": "e8e45fccc8f1907bf08aa37c1fe41f0cfb383b90f5525fcdf86a75af7a3e832e",
+    "majority/sequential": "e8e45fccc8f1907bf08aa37c1fe41f0cfb383b90f5525fcdf86a75af7a3e832e",
+    "slow-le/count": "78d472526e83be302a806b26949bd7bb86daf86d4273afe087b4f36089ba196e",
+    "slow-le/countbatch": "bc5df660226bed0c1b88dfbb60f3099cd635c9c7464d536476f95257bcc535cd",
+    "slow-le/fastbatch": "8307ba47134c14665ac938db3c24b798f1626dbfdcb84a893c531a0b4bcb137d",
+    "slow-le/fastbatch-numpy": "8307ba47134c14665ac938db3c24b798f1626dbfdcb84a893c531a0b4bcb137d",
+    "slow-le/sequential": "8307ba47134c14665ac938db3c24b798f1626dbfdcb84a893c531a0b4bcb137d",
+}
+
+
+def trajectory_digest(engine_factory, protocol_factory, n) -> str:
+    """SHA-256 over checkpointed (interactions, counts, space-usage) tuples.
+
+    The chunk length ``2n + 3`` is deliberately ragged so that engines whose
+    batching could quantise interaction counts would be caught too.
+    """
+    engine = engine_factory(protocol_factory(), n, rng=_SEED)
+    digest = hashlib.sha256()
+    for _ in range(_CHUNKS):
+        engine.run(2 * n + 3)
+        counts = sorted((repr(s), c) for s, c in engine.state_counts().items())
+        digest.update(
+            repr((engine.interactions, counts, engine.states_ever_occupied)).encode()
+        )
+    return digest.hexdigest()
+
+
+@pytest.mark.parametrize("protocol_name", sorted(PROTOCOLS))
+@pytest.mark.parametrize("engine_name", sorted(ENGINES))
+def test_trajectory_digest_is_pinned(protocol_name, engine_name):
+    factory, n = PROTOCOLS[protocol_name]
+    observed = trajectory_digest(ENGINES[engine_name], factory, n)
+    expected = EXPECTED[f"{protocol_name}/{engine_name}"]
+    assert observed == expected, (
+        f"{engine_name} changed its randomness consumption on "
+        f"{protocol_name}: digest {observed} != pinned {expected}. If the "
+        "change is intentional, regenerate the pins (see module docstring)."
+    )
+
+
+def test_fastbatch_pins_equal_sequential_pins():
+    """Keep the strongest guarantee visible: the three bit-for-bit engines
+    share one pin per protocol."""
+    for protocol_name in PROTOCOLS:
+        assert (
+            EXPECTED[f"{protocol_name}/fastbatch"]
+            == EXPECTED[f"{protocol_name}/fastbatch-numpy"]
+            == EXPECTED[f"{protocol_name}/sequential"]
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover - pin regeneration helper
+    for protocol_name, (factory, n) in sorted(PROTOCOLS.items()):
+        for engine_name, engine_factory in sorted(ENGINES.items()):
+            value = trajectory_digest(engine_factory, factory, n)
+            print(f'    "{protocol_name}/{engine_name}": "{value}",')

@@ -115,8 +115,34 @@ def test_cli_engine_flag_reaches_config():
     parser = build_parser()
     args = parser.parse_args(["run", "lemma41", "--preset", "smoke", "--engine", "auto"])
     assert config_from_args(args).engine == "auto"
+    args = parser.parse_args(
+        ["run", "lemma41", "--preset", "smoke", "--engine", "countbatch"]
+    )
+    assert config_from_args(args).engine == "countbatch"
     with pytest.raises(SystemExit):
         parser.parse_args(["run", "lemma41", "--engine", "warp-drive"])
+
+
+def test_cli_countbatch_runs_in_process(capsys):
+    """The configuration-space engine is wired through the experiment runner
+    (not just accepted by the parser)."""
+    exit_code = main(
+        [
+            "run",
+            "lemma41",
+            "--preset",
+            "smoke",
+            "--sizes",
+            "64",
+            "--repetitions",
+            "1",
+            "--engine",
+            "countbatch",
+            "--no-charts",
+        ]
+    )
+    assert exit_code == 0
+    assert "lemma41" in capsys.readouterr().out
 
 
 def test_cli_engine_auto_runs_end_to_end():

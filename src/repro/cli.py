@@ -9,16 +9,16 @@ Run the reproduction experiments from a terminal::
 
 The ``--preset`` option selects one of the
 :class:`~repro.experiments.config.ExperimentConfig` presets (``smoke``,
-``default``, ``large``); individual sweep parameters can be overridden with
-``--sizes``, ``--repetitions`` and ``--budget``.  ``--engine`` picks the
-simulation engine (``sequential``, ``count``, ``countbatch``, ``fastbatch``,
-``batch``) or ``auto`` to dispatch on population size — see the engine
-selection guide in :mod:`repro.engine`.  Figure/table sweeps at
-``n = 10^7``-``10^8`` are feasible with ``--engine countbatch`` (or
-``auto``), e.g.::
+``default``, ``large``, ``headline``); individual sweep parameters can be
+overridden with ``--sizes``, ``--repetitions`` and ``--budget``.
+``--engine`` picks the simulation engine (``sequential``, ``count``,
+``countbatch``, ``fastbatch``, ``batch``) or ``auto`` to dispatch on
+population size — see the engine selection guide in :mod:`repro.engine`.
+The ``headline`` preset is the ``n = 10^7``/``10^8`` GSU19 scenario tier on
+``auto`` dispatch (count-space simulation at ``10^8``; hours-to-days of
+wall clock)::
 
-    python -m repro.cli run figure1 --preset large \
-        --sizes 1000000 10000000 --engine countbatch
+    python -m repro.cli run table1 --preset headline
 """
 
 from __future__ import annotations
@@ -40,6 +40,7 @@ _PRESETS = {
     "smoke": ExperimentConfig.smoke,
     "default": ExperimentConfig.default,
     "large": ExperimentConfig.large,
+    "headline": ExperimentConfig.headline,
 }
 
 

@@ -23,7 +23,7 @@ Section 8.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.clocks.phase_clock import PhaseClockRules
 from repro.core.backup import apply_slow_backup
@@ -40,11 +40,31 @@ from repro.core.params import GSUParams
 from repro.core.roles import apply_initialisation
 from repro.core.state import GSUAgentState, is_alive_leader, zero_state
 from repro.engine.base import BaseEngine
+from repro.engine.closure import reachable_states
 from repro.engine.convergence import SingleLeader
+from repro.engine.dispatch import COUNTBATCH_FORCE_N
 from repro.engine.protocol import FOLLOWER_OUTPUT, LEADER_OUTPUT, PopulationProtocol
 from repro.types import Role
 
-__all__ = ["GSULeaderElection"]
+__all__ = ["GSULeaderElection", "CLOSURE_MIN_N_HINT"]
+
+#: Population-size hint from which :meth:`GSULeaderElection.canonical_states`
+#: computes the reachable-state closure.  Tied by import to the dispatcher's
+#: *force* threshold (:data:`repro.engine.dispatch.COUNTBATCH_FORCE_N`) —
+#: the size from which GSU19 is actually count-dispatched.  Below it the
+#: cost model always keeps GSU19 on the per-agent engines (the occupied
+#: frontier prices count-batch out), so the ``Θ(K²)`` BFS (tens of seconds
+#: for the default calibration, ``K ≈ 1.3–1.8·10³`` states) would be pure
+#: construction overhead; those instances keep the lazily discovered state
+#: space — which also keeps their seed-pinned count-engine trajectories
+#: unchanged — and the count engines still run them fine via lazy growth
+#: (or an explicit :meth:`GSULeaderElection.reachable_state_closure`).
+CLOSURE_MIN_N_HINT = COUNTBATCH_FORCE_N
+
+#: Reachable-closure cache.  Keyed by ``(gamma, phi, psi)`` — the only
+#: parameters the transition function reads (``n_hint`` is validation-only),
+#: so every protocol instance sharing a calibration shares one BFS.
+_CLOSURE_CACHE: Dict[Tuple[int, int, int], Tuple[GSUAgentState, ...]] = {}
 
 
 class GSULeaderElection(PopulationProtocol):
@@ -87,6 +107,63 @@ class GSULeaderElection(PopulationProtocol):
 
     def initial_configuration(self, n: int) -> Sequence[GSUAgentState]:
         return [zero_state()] * n
+
+    def initial_counts(self, n: int) -> Dict[GSUAgentState, int]:
+        # O(k) form of the uniform start: the configuration-space engines
+        # construct at n = 10^7-10^8 without an O(n) per-agent list.
+        return {zero_state(): n}
+
+    def canonical_states(self) -> Optional[Tuple[GSUAgentState, ...]]:
+        """The reachable-state closure — for count-batch-scale instances.
+
+        Every field of the frozen :class:`~repro.core.state.GSUAgentState` is
+        bounded for fixed parameters (``phase < Γ``, ``level ≤ Φ``,
+        ``drag ≤ Ψ``, ``cnt ≤ 2Φ+3``), so the set of states reachable from
+        the all-zero start is finite and
+        :func:`~repro.engine.closure.reachable_states` enumerates it exactly.
+        The BFS costs ``Θ(K²)`` transition evaluations (tens of seconds at
+        the default calibration) and is therefore only performed when the
+        parameters were derived for a population at configuration-space
+        scale (``n_hint >= CLOSURE_MIN_N_HINT``), where it is amortised
+        against the run itself; the result is cached per ``(gamma, phi,
+        psi)`` in a module-level cache shared by all instances.  Smaller
+        instances return ``None`` and keep the lazily discovered state
+        space, which leaves their seed-pinned count-engine trajectories
+        byte-identical to earlier releases.  Call
+        :meth:`reachable_state_closure` directly to compute the closure for
+        a small instance explicitly.
+        """
+        if self.params.n_hint < CLOSURE_MIN_N_HINT:
+            return None
+        return self.reachable_state_closure()
+
+    def occupied_states_hint(self) -> int:
+        """Empirical envelope of the simultaneously occupied state count.
+
+        Measured runs occupy far fewer states at a time than the reachable
+        closure declares (40-75 at the default calibration across
+        ``n = 10^6``-``10^7``, versus ``K ~ 1.8*10^3`` reachable): the phase
+        clock keeps each sub-population's phases in a narrow moving band.
+        The bound below — a few phases' worth of every role's field
+        combinations — envelopes every measurement with ~2x headroom and
+        feeds the dispatcher's count-batch cost model (engine choice only,
+        never correctness).
+        """
+        return 4 * self.params.gamma + 4 * (self.params.phi + self.params.psi)
+
+    def reachable_state_closure(self) -> Tuple[GSUAgentState, ...]:
+        """Compute (and cache per ``(gamma, phi, psi)``) the reachable states.
+
+        Unlike :meth:`canonical_states` this always runs the BFS, whatever
+        the instance's ``n_hint`` — the explicit opt-in for state-space
+        audits and for count-dispatching small calibrations.
+        """
+        key = (self.params.gamma, self.params.phi, self.params.psi)
+        closure = _CLOSURE_CACHE.get(key)
+        if closure is None:
+            closure = tuple(reachable_states(self.transition, [zero_state()]))
+            _CLOSURE_CACHE[key] = closure
+        return closure
 
     def transition(self, responder: GSUAgentState, initiator: GSUAgentState):
         params = self.params

@@ -31,9 +31,14 @@ Five engines are provided:
 * :class:`~repro.engine.count_batch.CountBatchEngine` — exact **in
   distribution**, ``O(k)`` memory: simulates over state counts only,
   processing collision-free runs of ``Θ(sqrt(n))`` interactions per
-  ``O(k^2)`` hypergeometric update (Berenbrink et al.-style batching).
-  The engine for ``n = 10^7``–``10^8`` population sizes, where per-agent
-  arrays are slow (cache misses) or impossible (memory).
+  hypergeometric update whose cost follows the *occupied* state frontier
+  (Berenbrink et al.-style batching).  The engine for ``n = 10^7``–``10^8``
+  population sizes, where per-agent arrays are slow (cache misses) or
+  impossible (memory).  Requires a *count-capable* protocol at scale: an
+  ``O(k)`` ``initial_counts`` (the O(n) configuration fallback is refused
+  at ``n >= 10^7``) and — for auto dispatch — a finite
+  ``canonical_states`` (GSU19 declares its reachable-state closure, see
+  :mod:`repro.engine.closure`).
 * :class:`~repro.engine.count_engine.CountEngine` — also exact, keeps only
   the multiset of states and samples one ordered pair per step.  The
   easiest-to-audit configuration-level reference; superseded for throughput
@@ -62,10 +67,12 @@ fastbatch        exact       O(1): ~ns in the C kernel,  the in-cache workhorse
                              over sqrt(n)-long waves     with a C compiler; on
                                                          pure NumPy above
                                                          ~5*10^4 agents
-countbatch       exact in    O(k^2 / sqrt(n)) amortised  huge n (auto picks it
-                 distribu-   — vanishes as n grows;      from 3*10^6 up) with
-                 tion        O(k) memory                 small k; the
-                                                         n = 10^7-10^8 engine
+countbatch       exact in    occupied-frontier work      huge n with an O(k)
+                 distribu-   amortised over sqrt(n)      count path; the
+                 tion        interactions — vanishes     n = 10^7-10^8 engine
+                             as n grows; O(k) memory     (auto: cost model
+                                                         from 3*10^6, forced
+                                                         from 3*10^7)
 count            exact in    O(k) Python, O(k) memory    auditing the count
                  distribu-                               representation; not a
                  tion                                    throughput choice
@@ -74,11 +81,17 @@ batch            APPROXIMATE O(k^2) per batch            deprecated — ablation
 ===============  ==========  ==========================  ======================
 
 ``"auto"`` (see :func:`~repro.engine.dispatch.auto_engine`) encodes exactly
-this table, choosing among the *exact* engines from ``(n, state-space size,
-C-kernel availability)``: count-batch above its measured crossover when the
-protocol declares a small canonical state space, fastbatch above the
-crossover for whichever hot path is actually available, sequential
-otherwise.  The approximate batch engine is never auto-selected.
+this table.  A protocol is *count-capable* when it declares an ``O(k)``
+``initial_counts`` and a finite ``canonical_states`` (epidemic, both
+majorities, the slow election; GSU19 via its cached reachable-state
+closure).  For count-capable protocols above ``3*10^6`` agents the
+dispatcher evaluates a measured per-batch cost model at the protocol's
+occupied-frontier bound (``occupied_states_hint()``) against the fast-batch
+reference, and from ``3*10^7`` it forces count-batch outright — per-agent
+construction is O(n) in time and memory there.  Everything else gets
+fastbatch above the crossover for whichever hot path is actually available,
+sequential otherwise.  The approximate batch engine is never auto-selected,
+and constructing it emits a :class:`FutureWarning`.
 
 The :mod:`repro.engine.simulation` module layers run management (convergence
 predicates, interaction budgets, recorders, result objects) on top of the
@@ -90,6 +103,7 @@ from __future__ import annotations
 from repro.engine.protocol import PopulationProtocol, ProtocolSpec
 from repro.engine.state import StateEncoder
 from repro.engine.table import TransitionTable
+from repro.engine.closure import reachable_states
 from repro.engine.rng import make_rng, spawn_seeds
 from repro.engine.scheduler import PairSampler
 from repro.engine.engine import SequentialEngine
@@ -125,6 +139,7 @@ __all__ = [
     "ProtocolSpec",
     "StateEncoder",
     "TransitionTable",
+    "reachable_states",
     "make_rng",
     "spawn_seeds",
     "PairSampler",

@@ -18,13 +18,15 @@ recorded in ``EXPERIMENTS.md`` uses one of the exact engines.
     :class:`~repro.engine.count_batch.CountBatchEngine`, which achieves the
     same configuration-level batching *without* the within-batch
     approximation error (exact in distribution) at comparable or better
-    throughput.  Requesting ``engine="batch"`` by name emits a
-    :class:`FutureWarning`; the class is kept as the ablation baseline
-    that quantifies what giving up exactness would buy.
+    throughput.  Constructing this engine — through the registry name or
+    the class itself — emits a :class:`FutureWarning`; the class is kept
+    as the ablation baseline that quantifies what giving up exactness
+    would buy.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Tuple
 
 import numpy as np
@@ -51,6 +53,17 @@ class BatchEngine(BaseEngine):
         *,
         batch_fraction: float = 0.05,
     ) -> None:
+        # Warn at construction, not at name lookup: passing the class
+        # directly (engine_cls=BatchEngine) must see the notice too, and
+        # FutureWarning (not DeprecationWarning) survives Python's default
+        # filters outside __main__ — i.e. on the CLI path.
+        warnings.warn(
+            "BatchEngine is approximate and superseded by CountBatchEngine "
+            "(exact in distribution, O(k) memory) for large-n exploration; "
+            "it is kept as an ablation baseline only",
+            FutureWarning,
+            stacklevel=2,
+        )
         super().__init__(protocol, n, rng)
         if not 0 < batch_fraction <= 1:
             raise ConfigurationError(

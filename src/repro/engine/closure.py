@@ -1,0 +1,100 @@
+"""Reachable-state closure of a population protocol.
+
+:func:`reachable_states` runs a breadth-first fixpoint over a protocol's
+deterministic transition function: starting from the initial states, every
+ordered pair of known states is evaluated and any state that appears on the
+right-hand side of a rule joins the frontier, until no new state appears.
+The result is the exact set of states that can *ever* occur in any execution
+from the given initial states — finite whenever every state field is bounded
+for the protocol's fixed parameters.
+
+This is what lets a protocol with a structured, role-guarded state space
+(the GSU19 headline protocol: phase below the clock modulus, level/drag/cnt
+capped by ``Φ``/``Ψ``) declare a finite
+:meth:`~repro.engine.protocol.PopulationProtocol.canonical_states` and
+become eligible for the configuration-space engines, whose memory is
+``O(k)`` in the closure size instead of ``O(n)`` in the population.
+
+The discovery order is deterministic (BFS layers, insertion-ordered within a
+layer), so state-identifier layout — and therefore the trajectories of the
+count-based engines, which sample by identifier order — is reproducible
+across runs and machines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Tuple
+
+from repro.errors import ProtocolError
+from repro.types import State, TransitionResult
+
+__all__ = ["reachable_states"]
+
+#: Default guard against protocols whose state space is effectively unbounded
+#: (a closure this large would also be useless to the count engines).
+_DEFAULT_MAX_STATES = 100_000
+
+
+def reachable_states(
+    transition: Callable[[State, State], TransitionResult],
+    seeds: Iterable[State],
+    *,
+    max_states: int = _DEFAULT_MAX_STATES,
+) -> List[State]:
+    """All states reachable from ``seeds`` under pairwise interactions.
+
+    Parameters
+    ----------
+    transition:
+        The protocol's deterministic ``(responder, initiator) ->
+        (responder', initiator')`` function.  It is called on state objects
+        directly (no encoder involved), so the closure can be computed before
+        any :class:`~repro.engine.table.TransitionTable` exists — in
+        particular from inside ``canonical_states`` itself.
+    seeds:
+        The initial states (for a uniform start, a single state).
+    max_states:
+        Hard cap on the closure size; exceeding it raises
+        :class:`~repro.errors.ProtocolError` instead of running away on a
+        protocol whose state space is unbounded in ``n``.
+
+    Returns
+    -------
+    list
+        The closure in deterministic BFS discovery order, seeds first.
+
+    Notes
+    -----
+    Every ordered pair of reachable states is evaluated at least once (at
+    most twice), so the cost is ``Θ(K²)`` transition calls for a closure of
+    size ``K`` — a one-time cost per parameterisation, which callers should
+    cache (the GSU19 protocol caches per ``(gamma, phi, psi)``).
+    """
+    known: dict = dict.fromkeys(seeds)
+    if not known:
+        raise ProtocolError("reachable_states needs at least one seed state")
+    frontier: List[State] = list(known)
+    overflow = ProtocolError(
+        f"reachable-state closure exceeded {max_states} states; the "
+        "protocol's state space looks unbounded for these parameters "
+        "(raise max_states if this is intentional)"
+    )
+    if len(known) > max_states:
+        raise overflow
+    while frontier:
+        discovered: dict = {}
+        snapshot: Tuple[State, ...] = tuple(known)
+        for fresh in frontier:
+            for other in snapshot:
+                for responder, initiator in ((fresh, other), (other, fresh)):
+                    for state in transition(responder, initiator):
+                        if state not in known and state not in discovered:
+                            discovered[state] = None
+                            # Checked per discovery, not per layer: a
+                            # slowly growing unbounded space must abort
+                            # promptly, not after Θ(max_states²) calls.
+                            if len(known) + len(discovered) > max_states:
+                                raise overflow
+        known.update(discovered)
+        frontier = list(discovered)
+    return list(known)

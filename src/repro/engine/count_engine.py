@@ -35,6 +35,13 @@ __all__ = ["CountEngine", "initial_count_items", "sample_weighted_index"]
 #: Number of uniform random deviates pre-drawn per NumPy call.
 _UNIFORM_BLOCK = 1 << 14
 
+#: Population size from which falling back to ``initial_configuration`` is an
+#: error rather than a slow path: the fallback walks an O(n) sequence, which
+#: at 10^7+ agents means multi-GB transient allocations inside engines whose
+#: selling point is O(k) memory.  Protocols must declare ``initial_counts``
+#: to run at this scale.
+_COUNTS_REQUIRED_MIN_N = 10**7
+
 
 def sample_weighted_index(weights, target: float, exclude: int = -1) -> int:
     """Index into ``weights`` sampled proportionally to the weights.
@@ -66,10 +73,16 @@ def initial_count_items(
     """``(state, count)`` pairs of the initial configuration, in order.
 
     Prefers the protocol's ``O(k)``-memory :meth:`initial_counts` hook and
-    falls back to run-length encoding :meth:`initial_configuration` (initial
-    configurations are almost always a handful of long runs of equal
-    states).  Used by the configuration-level engines so that construction
-    at ``n = 10^7``-``10^8`` does not allocate ``O(n)`` lists.
+    falls back to run-length encoding :meth:`initial_configuration`.  The
+    fallback *streams* the configuration through :func:`itertools.groupby`
+    — no intermediate copy is built here, and a protocol whose
+    ``initial_configuration`` returns a lazy iterable is consumed in O(k)
+    memory (``k`` runs of equal states).  At ``n >= 10^7`` the fallback is
+    refused outright with a :class:`ProtocolError` naming the fix (declare
+    ``initial_counts``): the stock implementations return O(n) lists, and
+    whether a particular override would stream lazily cannot be known
+    without *invoking* it — at which point a list-returning protocol has
+    already allocated the gigabytes this guard exists to prevent.
     """
     counts = protocol.initial_counts(n)
     if counts is not None:
@@ -82,11 +95,31 @@ def initial_count_items(
                 "sum to n)"
             )
         return [(state, int(count)) for state, count in items if count]
+    if n >= _COUNTS_REQUIRED_MIN_N:
+        raise ProtocolError(
+            f"protocol {protocol.name!r} declares no initial_counts; the "
+            f"initial_configuration fallback is refused at n={n} (stock "
+            "implementations materialise an O(n) list, and checking for a "
+            "lazy override would already invoke it) — implement "
+            "initial_counts (the O(k) {state: count} form of the initial "
+            "configuration) to simulate populations of 10^7 and beyond"
+        )
     configuration = protocol.initial_configuration(n)
-    protocol.validate_configuration(configuration, n)
-    return [
+    if hasattr(configuration, "__len__"):
+        # Sized configurations keep the protocol's validate_configuration
+        # hook (subclasses may enforce extra invariants there); lazy
+        # iterables skip it — their length is validated from the stream.
+        protocol.validate_configuration(configuration, n)
+    items = [
         (state, sum(1 for _ in run)) for state, run in groupby(configuration)
     ]
+    total = sum(count for _, count in items)
+    if total != n:
+        raise ProtocolError(
+            f"initial configuration of protocol {protocol.name!r} has length "
+            f"{total}, expected n={n}"
+        )
+    return items
 
 
 class CountEngine(BaseEngine):

@@ -21,32 +21,53 @@ Selection policy (see the measured crossovers in ``BENCH_engine.json``):
   around ``5 * 10^4`` agents (collision-free runs lengthen like
   ``sqrt(n)``, so its advantage grows with ``n``).
 * ``CountBatchEngine`` — exact in distribution, ``O(k)`` memory, and
-  processes collision-free runs of ``Θ(sqrt(n))`` interactions per
-  ``O(k^2)`` update.  For protocols that declare a small canonical state
-  space it overtakes even the C kernel once the per-agent array outgrows
-  the CPU caches (measured crossover ``~3*10^6`` agents — used as a single
-  kernel-independent threshold so seed-pinned ``auto`` results agree across
-  machines), and it is the only engine that reaches ``n = 10^8`` without
-  ``O(n)`` memory.
+  processes collision-free runs of ``Θ(sqrt(n))`` interactions per batched
+  update whose cost follows the *occupied* state frontier.  Eligible when
+  the protocol is **count-capable**: it declares a finite canonical state
+  space (for GSU19 the reachable-state closure, see
+  :meth:`repro.core.protocol.GSULeaderElection.canonical_states`) *and* an
+  ``O(k)`` ``initial_counts`` path.  Among eligible protocols the choice is
+  a measured cost model (below): the classic small-state-space workloads
+  cross over around ``3*10^6`` agents, and above ``_COUNTBATCH_FORCE_N``
+  count-batch is selected unconditionally — the per-agent engines' ``O(n)``
+  arrays and construction loops stop being viable long before ``10^8``.
 * ``CountEngine`` — exact, ``O(k)`` memory, one ordered pair per step.
   Never the throughput winner; kept as the easiest-to-audit
   configuration-level reference and never auto-selected (count-batch
   dominates it wherever counts help).
 * ``BatchEngine`` — **approximate** multinomial batching, superseded by
   ``CountBatchEngine`` for large-n exploration.  Never auto-selected, and
-  requesting it by name emits a :class:`FutureWarning`; it survives as
-  the ablation baseline quantifying what giving up exactness would buy.
+  constructing it (by name or by class) emits a :class:`FutureWarning`;
+  it survives as the ablation baseline quantifying what giving up
+  exactness would buy.
+
+The count-batch cost model
+==========================
+
+One count-batch update advances an expected ``sqrt(pi * n / 4) ~ 0.886
+sqrt(n)`` interactions; its cost is a fixed overhead plus a term in the
+number ``k`` of *occupied* states (scalar hypergeometric splits while ``k``
+is small, one compacted vectorised split per pairing row beyond that — see
+:mod:`repro.engine.count_batch`).  The dispatcher compares that per-batch
+cost, evaluated at the protocol's occupied-frontier bound
+(:meth:`~repro.engine.protocol.PopulationProtocol.occupied_states_hint`,
+defaulting to the declared state-space size), against the fast-batch
+engine's measured per-interaction cost.  All constants were measured on the
+``BENCH_engine.json`` workloads and are deliberately kernel-independent:
+below the crossover every ``auto`` choice stays in the bit-for-bit
+sequential-identical engine family, so seed-pinned results agree across
+machines with and without a C compiler.
 """
 
 from __future__ import annotations
 
-import warnings
+import math
 from typing import Dict, Optional, Type, Union
 
 from repro.engine._ckernel import kernel_available
 from repro.engine.base import BaseEngine
 from repro.engine.batch_engine import BatchEngine
-from repro.engine.count_batch import CountBatchEngine
+from repro.engine.count_batch import _MVH_SCALAR_MAX_OCCUPIED, CountBatchEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.engine.fast_batch import FastBatchEngine
@@ -54,10 +75,13 @@ from repro.engine.protocol import PopulationProtocol
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "COUNTBATCH_FORCE_N",
     "ENGINE_REGISTRY",
     "ENGINE_NAMES",
     "EngineSpec",
     "auto_engine",
+    "count_capable",
+    "countbatch_batch_seconds",
     "resolve_engine",
     "state_space_size",
 ]
@@ -86,23 +110,53 @@ _FASTBATCH_MIN_N = 50_000
 #: choice is irrelevant) keep the reference engine.
 _FASTBATCH_MIN_N_CKERNEL = 256
 
-#: Population size above which the configuration-space batched engine beats
-#: the fast-batch engine's C kernel (the per-agent array falls out of cache
-#: while count-batch work per interaction keeps shrinking like 1/sqrt(n);
-#: measured on the epidemic workload, see BENCH_engine.json: ~equal at
-#: 3*10^6, count-batch ~2.5x ahead at 10^7).  Deliberately NOT lowered when
-#: the kernel is missing even though count-batch overtakes the NumPy wave
-#: path already around 2*10^5: below this single threshold every auto
-#: choice is in the bit-for-bit sequential-identical engine family, so
-#: seed-pinned results agree across machines with and without a C compiler
-#: (the price is at most ~2x throughput for compiler-less users in the
-#: 2*10^5..3*10^6 range — they can opt into engine="countbatch" explicitly).
+#: Population size below which the configuration-space batched engine is
+#: never auto-selected, whatever the cost model says.  Deliberately NOT
+#: lowered when the C kernel is missing even though count-batch overtakes
+#: the NumPy wave path already around 2*10^5: below this single threshold
+#: every auto choice is in the bit-for-bit sequential-identical engine
+#: family, so seed-pinned results agree across machines with and without a
+#: C compiler (the price is at most ~2x throughput for compiler-less users
+#: in the 2*10^5..3*10^6 range — they can opt into engine="countbatch"
+#: explicitly).
 _COUNTBATCH_MIN_N = 3_000_000
 
-#: Count-based dispatch requires the protocol to declare at most this many
-#: canonical states (per-batch cost grows with the square of the occupied
-#: state count; lazily discovered state spaces are assumed large).
-_COUNTBATCH_MAX_STATES = 64
+#: Population size from which a count-capable protocol is dispatched to the
+#: configuration-space engine unconditionally: the per-agent engines build
+#: an O(n) Python list and O(n) arrays at construction (~0.5-1 GB and a
+#: minutes-scale encode loop at this size, several GB at 10^8), so the
+#: throughput comparison stops being the binding constraint.  Public:
+#: GSU19's closure gate (repro.core.protocol.CLOSURE_MIN_N_HINT) is defined
+#: as this threshold — the size from which the closure actually pays off.
+COUNTBATCH_FORCE_N = 30_000_000
+
+#: Backwards-compatible internal alias.
+_COUNTBATCH_FORCE_N = COUNTBATCH_FORCE_N
+
+#: Count-based dispatch requires the declared state space to fit a sane
+#: packed transition LUT: the table allocates an (k x k) int64 array, which
+#: at 4096 states is ~134 MB — beyond that the compiled IR itself stops
+#: being "small" and the count engines lose their memory argument.
+_COUNTBATCH_MAX_DECLARED_STATES = 4096
+
+# --- measured count-batch cost model (see BENCH_engine.json) -----------
+#: Fixed per-batch overhead: survival-curve inversion, the participant /
+#: responder hypergeometric splits and the Python bookkeeping around them.
+_COUNTBATCH_BATCH_OVERHEAD_SECONDS = 2.7e-5
+#: Per-batch cost while the occupied frontier fits the scalar sequential-
+#: conditional path (quadratic: one ~1.7us scalar hypergeometric per
+#: occupied pairing cell).
+_COUNTBATCH_SCALAR_CELL_SECONDS = 1.7e-6
+#: Per-occupied-state per-batch cost on the vectorised pairing-row path
+#: (one compacted multivariate hypergeometric per row, ~14us flat plus the
+#: row's share of the bulk update; measured ~30us/row on the GSU19
+#: workload at n = 10^7).
+_COUNTBATCH_ROW_SECONDS = 3.0e-5
+#: Fast-batch reference cost per interaction.  The C-kernel figure is used
+#: on purpose even where the kernel is absent (kernel-independent policy,
+#: see _COUNTBATCH_MIN_N): ~34-38 M interactions/s on the BENCH_engine
+#: workloads at n >= 10^6.
+_FASTBATCH_SECONDS_PER_INTERACTION = 2.9e-8
 
 
 def state_space_size(protocol: PopulationProtocol) -> Optional[int]:
@@ -110,11 +164,66 @@ def state_space_size(protocol: PopulationProtocol) -> Optional[int]:
 
     ``None`` means the protocol discovers its state space lazily, in which
     case the dispatcher assumes it is too large for count-based simulation.
+    Accepts any iterable from ``canonical_states`` — sized containers are
+    measured with ``len``; generator-valued enumerations are counted by
+    consuming the (fresh) iterator.
     """
     canonical = protocol.canonical_states()
     if canonical is None:
         return None
-    return sum(1 for _ in canonical)
+    try:
+        return len(canonical)  # type: ignore[arg-type]
+    except TypeError:
+        return sum(1 for _ in canonical)
+
+
+def countbatch_batch_seconds(occupied: int) -> float:
+    """Modelled cost of one count-batch update at an occupied frontier.
+
+    Piecewise in the frontier size with the breakpoint imported from the
+    engine itself (``count_batch._MVH_SCALAR_MAX_OCCUPIED``), so model and
+    engine switch paths at the same frontier; constants measured on the
+    BENCH_engine workloads (module docstring).
+    """
+    if occupied <= _MVH_SCALAR_MAX_OCCUPIED:
+        return (
+            _COUNTBATCH_BATCH_OVERHEAD_SECONDS
+            + _COUNTBATCH_SCALAR_CELL_SECONDS * occupied * occupied
+        )
+    return _COUNTBATCH_BATCH_OVERHEAD_SECONDS + _COUNTBATCH_ROW_SECONDS * occupied
+
+
+def _countbatch_profitable(occupied: int, n: int) -> bool:
+    """Whether the modelled count-batch per-interaction cost beats the
+    fast-batch reference at population size ``n``.
+
+    One batch advances an expected ``sqrt(pi * n / 4)`` interactions (the
+    mean of the collision-free run-length distribution).
+    """
+    expected_run = math.sqrt(math.pi * n / 4.0)
+    per_interaction = countbatch_batch_seconds(occupied) / expected_run
+    return per_interaction < _FASTBATCH_SECONDS_PER_INTERACTION
+
+
+def count_capable(protocol: PopulationProtocol, n: int) -> Optional[int]:
+    """Declared state-space size if ``protocol`` can be count-dispatched.
+
+    Count-capability requires an ``O(k)`` ``initial_counts`` path (the
+    configuration-level engines refuse the ``O(n)`` fallback at 10^7+) and
+    a finite declared state space small enough for the packed transition
+    LUT.  Returns the declared size, or ``None`` when ineligible.
+
+    The ``initial_counts`` probe runs first: it is O(k) cheap, while
+    ``canonical_states`` may trigger a protocol's reachable-closure BFS
+    (tens of seconds for GSU19 — amortised against a ``>= 3*10^6``-agent
+    run, but not worth paying for a protocol that lacks the counts hook).
+    """
+    if protocol.initial_counts(n) is None:
+        return None
+    states = state_space_size(protocol)
+    if states is None or states > _COUNTBATCH_MAX_DECLARED_STATES:
+        return None
+    return states
 
 
 def auto_engine(protocol: PopulationProtocol, n: int) -> Type[BaseEngine]:
@@ -123,10 +232,27 @@ def auto_engine(protocol: PopulationProtocol, n: int) -> Type[BaseEngine]:
     The policy is a measured throughput/memory trade-off, documented in
     this module's docstring; approximate engines are never returned.
     """
-    states = state_space_size(protocol)
-    if states is not None and states <= _COUNTBATCH_MAX_STATES:
-        if n >= _COUNTBATCH_MIN_N:
-            return CountBatchEngine
+    if n >= _COUNTBATCH_MIN_N:
+        hint = protocol.occupied_states_hint()
+        # Below the force threshold, an unprofitable frontier hint prices
+        # count-batch out *before* canonical_states is consulted: that
+        # enumeration may be expensive (GSU19's ~45s closure BFS), and it
+        # must only be paid when it can change the decision — not to be
+        # told "fastbatch", which is what the cost model says for GSU19's
+        # frontier in the 3*10^6..3*10^7 window.
+        worth_probing = (
+            n >= _COUNTBATCH_FORCE_N
+            or hint is None
+            or _countbatch_profitable(hint, n)
+        )
+        if worth_probing:
+            states = count_capable(protocol, n)
+            if states is not None:
+                if n >= _COUNTBATCH_FORCE_N:
+                    return CountBatchEngine
+                occupied = states if hint is None else min(states, hint)
+                if _countbatch_profitable(occupied, n):
+                    return CountBatchEngine
     threshold = (
         _FASTBATCH_MIN_N_CKERNEL if kernel_available() else _FASTBATCH_MIN_N
     )
@@ -159,18 +285,10 @@ def resolve_engine(
                     "engine='auto' needs a protocol and a population size to dispatch on"
                 )
             return auto_engine(protocol, n)
-        if name == "batch":
-            # FutureWarning, not DeprecationWarning: the latter is hidden by
-            # Python's default filters outside __main__, which would silence
-            # the notice exactly where it matters (the CLI path).
-            warnings.warn(
-                "engine='batch' is approximate and superseded by "
-                "'countbatch' (exact in distribution, O(k) memory) for "
-                "large-n exploration; 'batch' is kept as an ablation "
-                "baseline only",
-                FutureWarning,
-                stacklevel=2,
-            )
+        # NOTE: the 'batch' deprecation FutureWarning is emitted by
+        # BatchEngine.__init__ itself, so every entry point — string lookup
+        # here, direct class use, engine_cls= keyword — sees it exactly
+        # where the approximate engine is actually instantiated.
         try:
             return ENGINE_REGISTRY[name]
         except KeyError:

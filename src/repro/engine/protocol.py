@@ -103,8 +103,28 @@ class PopulationProtocol(abc.ABC):
         ``O(n)`` list built by :meth:`initial_configuration` — the difference
         between fitting ``n = 10^8`` in a few kilobytes and allocating
         gigabytes.  The default ``None`` makes those engines fall back to
-        :meth:`initial_configuration`.  Counts must be non-negative and sum
-        to ``n``.
+        :meth:`initial_configuration` (refused outright at ``n >= 10^7``,
+        where the fallback would silently allocate gigabytes).  Counts must
+        be non-negative and sum to ``n``.  Declaring this hook is half of
+        being *count-capable* (the other half is a finite
+        :meth:`canonical_states`), which is what makes ``engine="auto"``
+        consider the configuration-space engines at large ``n``.
+        """
+        return None
+
+    def occupied_states_hint(self) -> Optional[int]:
+        """Optional bound on the *simultaneously occupied* state count.
+
+        Protocols whose declared state space is much larger than the set of
+        states any configuration actually occupies at one time (GSU19: a
+        reachable closure of ``~1.8*10^3`` states, but runs occupy well
+        under a hundred at once — agents' clock phases stay in a narrow
+        moving band) can declare that envelope here.  The dispatcher's
+        count-batch cost model evaluates per-batch cost at this bound
+        instead of the full declared size; it never affects correctness,
+        only engine choice, so an empirically measured envelope is fine.
+        ``None`` (the default) makes the dispatcher fall back to the
+        declared state-space size.
         """
         return None
 

@@ -10,7 +10,11 @@ the common uses:
 * :meth:`ExperimentConfig.default` — the configuration used to produce the
   numbers recorded in ``EXPERIMENTS.md``,
 * :meth:`ExperimentConfig.large` — the heavier sweep for readers with more
-  patience (bigger ``n``, more seeds); invoked through the CLI.
+  patience (bigger ``n``, more seeds); invoked through the CLI,
+* :meth:`ExperimentConfig.headline` — the ``n = 10^7``/``10^8`` GSU19 tier
+  on ``engine="auto"``: fast-batch C kernel at ``10^7``, the O(k)-memory
+  configuration-space engine at ``10^8`` (hours-to-days of wall clock; one
+  seed per size).
 """
 
 from __future__ import annotations
@@ -94,6 +98,28 @@ class ExperimentConfig:
             repetitions=10,
             max_parallel_time=40000.0,
             slow_protocol_max_n=2048,
+        )
+
+    @classmethod
+    def headline(cls) -> "ExperimentConfig":
+        """The count-space scenario tier: GSU19 at ``n = 10^7`` and ``10^8``.
+
+        Requires ``engine="auto"`` semantics: the dispatcher picks the
+        fast-batch C kernel at ``10^7`` and the O(k)-memory
+        ``CountBatchEngine`` at ``10^8`` (where per-agent engines would need
+        gigabytes and a minutes-scale construction loop; GSU19's
+        reachable-state closure is computed once, ~45 s, and cached).  The
+        Θ(n)-time baselines are capped hard — simulating them at this scale
+        would measure nothing but wall clock.  Expect hours per seed at
+        ``10^7`` and a day-scale run at ``10^8``; repetitions default to a
+        single seed for that reason.
+        """
+        return cls(
+            population_sizes=(10**7, 10**8),
+            repetitions=1,
+            max_parallel_time=4000.0,
+            slow_protocol_max_n=4096,
+            engine="auto",
         )
 
     # ------------------------------------------------------------------

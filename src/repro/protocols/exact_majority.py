@@ -57,12 +57,21 @@ class ExactMajority(PopulationProtocol):
         return _STRONG_A
 
     def initial_configuration(self, n: int) -> Sequence[str]:
+        self._check_population(n)
+        return [_STRONG_A] * self.initial_a + [_STRONG_B] * self.initial_b
+
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        self._check_population(n)
+        return {_STRONG_A: self.initial_a, _STRONG_B: self.initial_b}
+
+    def _check_population(self, n: int) -> None:
         if self.initial_a + self.initial_b != n:
             raise ConfigurationError(
                 f"initial_a + initial_b = {self.initial_a + self.initial_b} "
                 f"does not match n = {n}"
             )
-        return [_STRONG_A] * self.initial_a + [_STRONG_B] * self.initial_b
 
     def transition(self, responder: str, initiator: str):
         # Cancellation of opposite strong opinions (both agents change).

@@ -84,6 +84,11 @@ class GS18LeaderElection(PopulationProtocol):
     def initial_state(self, n: int) -> GS18State:
         return GS18State()
 
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        return {GS18State(): n}
+
     def transition(self, responder: GS18State, initiator: GS18State):
         params = self.params
         clock = self.clock

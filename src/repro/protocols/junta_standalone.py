@@ -61,11 +61,23 @@ class JuntaElection(PopulationProtocol):
         return JuntaState()
 
     def initial_configuration(self, n: int) -> Sequence[JuntaState]:
-        coins = int(round(self.coin_fraction * n))
-        coins = min(max(coins, 1), n)
+        coins = self._coin_count(n)
         return [JuntaState(is_coin=True)] * coins + [
             JuntaState(is_coin=False, mode=CoinMode.STOPPED)
         ] * (n - coins)
+
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        coins = self._coin_count(n)
+        return {
+            JuntaState(is_coin=True): coins,
+            JuntaState(is_coin=False, mode=CoinMode.STOPPED): n - coins,
+        }
+
+    def _coin_count(self, n: int) -> int:
+        coins = int(round(self.coin_fraction * n))
+        return min(max(coins, 1), n)
 
     def transition(self, responder: JuntaState, initiator: JuntaState):
         if not responder.is_coin or responder.mode != CoinMode.ADVANCING:

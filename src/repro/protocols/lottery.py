@@ -61,6 +61,11 @@ class LotteryLeaderElection(PopulationProtocol):
     def initial_state(self, n: int) -> LotteryState:
         return LotteryState()
 
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        return {LotteryState(): n}
+
     def transition(self, responder: LotteryState, initiator: LotteryState):
         candidate = responder.candidate
         growing = responder.growing

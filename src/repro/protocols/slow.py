@@ -30,6 +30,11 @@ class SlowLeaderElection(PopulationProtocol):
     def initial_state(self, n: int) -> str:
         return _LEADER
 
+    def initial_counts(self, n: int):
+        # O(k) form for the configuration-level engines (n = 10^7-10^8 runs
+        # never materialise a per-agent list).
+        return {_LEADER: n}
+
     def transition(self, responder: str, initiator: str):
         if responder == _LEADER and initiator == _LEADER:
             return _FOLLOWER, _LEADER

@@ -10,6 +10,19 @@ from repro.protocols.approximate_majority import ApproximateMajority
 from repro.protocols.epidemic import OneWayEpidemic
 from repro.protocols.slow import SlowLeaderElection
 
+# Constructing the deprecated approximate engine warns by design (covered
+# explicitly in test_construction_emits_future_warning); silence the noise
+# for the behavioural tests below.
+pytestmark = pytest.mark.filterwarnings("ignore::FutureWarning")
+
+
+def test_construction_emits_future_warning():
+    """The deprecation notice lives on the constructor, so *every* entry
+    point — registry name, direct class use, engine_cls= keyword — sees it,
+    not just the string-lookup path in resolve_engine."""
+    with pytest.warns(FutureWarning, match="superseded by CountBatchEngine"):
+        BatchEngine(SlowLeaderElection(), 100, rng=0)
+
 
 def test_flagged_as_approximate():
     engine = BatchEngine(SlowLeaderElection(), 100, rng=0)

@@ -1,0 +1,243 @@
+"""Tests for the reachable-state closure and GSU19's count-space support.
+
+The closure pass (:mod:`repro.engine.closure`) is what makes the headline
+GSU19 protocol *count-capable*: a finite ``canonical_states`` enumeration
+plus the ``initial_counts`` hook lets ``engine="auto"`` dispatch it to the
+configuration-space engines at ``n = 10^7``–``10^8``.  Tier-1 tests use
+small clock calibrations (``gamma=4`` gives a 144-state closure computed in
+a fraction of a second); the default calibration (``K ~ 1.8*10^3`` states,
+a ~45 s BFS) is exercised by the ``slow``-marked acceptance test at
+``n = 10^8``.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.core.params import GSUParams
+from repro.core.protocol import CLOSURE_MIN_N_HINT, GSULeaderElection
+from repro.core.state import zero_state
+from repro.engine.closure import reachable_states
+from repro.engine.count_batch import CountBatchEngine
+from repro.engine.dispatch import auto_engine, state_space_size
+from repro.engine.engine import SequentialEngine
+from repro.engine.protocol import ProtocolSpec
+from repro.engine.simulation import Simulation
+from repro.errors import ProtocolError
+
+
+def _small_gsu(n_hint: int = CLOSURE_MIN_N_HINT) -> GSULeaderElection:
+    """A count-batch-scale GSU19 instance with a fast, small closure."""
+    return GSULeaderElection(GSUParams(n_hint=n_hint, gamma=4, phi=1, psi=1))
+
+
+# ----------------------------------------------------------------------
+# The generic BFS
+# ----------------------------------------------------------------------
+def test_reachable_states_enumerates_exact_closure():
+    """Three-state cyclic chase: a+a -> b, b+b -> c, c+c -> a; from {a} the
+    closure is exactly {a, b, c} in BFS discovery order."""
+    cycle = {"a": "b", "b": "c", "c": "a"}
+
+    def transition(responder, initiator):
+        if responder == initiator:
+            return cycle[responder], initiator
+        return responder, initiator
+
+    assert reachable_states(transition, ["a"]) == ["a", "b", "c"]
+
+
+def test_reachable_states_only_reports_reachable():
+    """States that exist in the protocol's alphabet but can never occur from
+    the seeds stay out of the closure."""
+
+    def transition(responder, initiator):
+        # 'x' would map to 'y', but 'x' is never produced from 'a'.
+        if responder == "x":
+            return "y", initiator
+        return responder, initiator
+
+    assert reachable_states(transition, ["a"]) == ["a"]
+
+
+def test_reachable_states_requires_a_seed():
+    with pytest.raises(ProtocolError):
+        reachable_states(lambda r, i: (r, i), [])
+
+
+def test_reachable_states_guards_against_unbounded_spaces():
+    """A counter protocol grows states without bound; the cap must trip
+    instead of looping forever."""
+
+    def transition(responder, initiator):
+        return responder + 1, initiator
+
+    with pytest.raises(ProtocolError, match="exceeded 64 states"):
+        reachable_states(transition, [0], max_states=64)
+
+
+# ----------------------------------------------------------------------
+# GSU19 closure semantics
+# ----------------------------------------------------------------------
+def test_gsu_closure_is_transition_closed_and_seeded():
+    """Full closedness audit at the gamma=4 calibration: every ordered pair
+    of closure states transitions back into the closure (144^2 pairs)."""
+    protocol = _small_gsu()
+    closure = set(protocol.reachable_state_closure())
+    assert zero_state() in closure
+    for responder in closure:
+        for initiator in closure:
+            updated, partner = protocol.transition(responder, initiator)
+            assert updated in closure
+            assert partner in closure
+
+
+def test_canonical_states_gated_on_population_scale():
+    """Small-n_hint instances keep the lazily discovered space (None), so
+    their seed-pinned count-engine trajectories are untouched; count-batch
+    scale instances declare the closure."""
+    small = GSULeaderElection(GSUParams(n_hint=4096, gamma=4, phi=1, psi=1))
+    assert small.canonical_states() is None
+    big = _small_gsu(n_hint=CLOSURE_MIN_N_HINT)
+    closure = big.canonical_states()
+    assert closure is not None
+    assert len(closure) == 144
+    assert state_space_size(big) == 144
+    # The explicit API computes the closure whatever the hint says.
+    assert tuple(small.reachable_state_closure()) == tuple(closure)
+
+
+def test_closure_cache_is_shared_per_calibration():
+    """Two instances with the same (gamma, phi, psi) — whatever their
+    n_hint — share one cached closure object."""
+    first = _small_gsu(n_hint=4096).reachable_state_closure()
+    second = _small_gsu(n_hint=10**8).reachable_state_closure()
+    assert first is second
+
+
+def test_gsu_initial_counts_declared():
+    protocol = _small_gsu()
+    assert protocol.initial_counts(10**8) == {zero_state(): 10**8}
+
+
+# ----------------------------------------------------------------------
+# Closure-registered engines stay exact
+# ----------------------------------------------------------------------
+def test_closure_registered_countbatch_matches_sequential_quantiles():
+    """With the closure eagerly registered, state-identifier layout changes
+    (BFS order instead of discovery order) — the count-batch convergence-time
+    distribution must not.  Same quantile-profile pin as the cross-engine
+    equivalence suite, on the closure-enabled calibration."""
+    from repro.analysis.stats import quantile_profile_distance
+
+    n = 64
+
+    def sample(engine_cls, seeds):
+        times = []
+        for seed in seeds:
+            engine = engine_cls(_small_gsu(), n, rng=seed)
+            assert engine.run_until(
+                lambda e: e.leader_count() == 1,
+                max_interactions=4000 * n,
+                check_every=n // 4,
+            )
+            times.append(float(engine.interactions))
+        return times
+
+    reference = sample(SequentialEngine, range(24))
+    batched = sample(CountBatchEngine, range(100_000, 100_024))
+    assert quantile_profile_distance(reference, batched) < 1.5
+
+
+def test_auto_dispatch_below_force_threshold_skips_the_closure_bfs():
+    """In the 3e6..3e7 window the cost model prices GSU19's occupied
+    frontier out before canonical_states is consulted — dispatch must not
+    pay the ~45s default-calibration closure BFS just to pick fastbatch.
+
+    The instance is built with the *default* calibration and an n_hint past
+    the closure gate, so canonical_states() genuinely would run the BFS if
+    consulted (this test would take ~45s if the guard regressed); the
+    dispatched n sits in the window where the model rejects count-batch.
+    """
+    from repro.core import protocol as core_protocol
+    from repro.engine.dispatch import COUNTBATCH_FORCE_N
+    from repro.engine.fast_batch import FastBatchEngine
+
+    protocol = GSULeaderElection(
+        GSUParams.from_population_size(COUNTBATCH_FORCE_N)
+    )
+    assert protocol.params.n_hint >= core_protocol.CLOSURE_MIN_N_HINT
+    params = protocol.params
+    key = (params.gamma, params.phi, params.psi)
+    cached_before = key in core_protocol._CLOSURE_CACHE
+    assert auto_engine(protocol, 5_000_000) is FastBatchEngine
+    if not cached_before:
+        assert key not in core_protocol._CLOSURE_CACHE, (
+            "auto dispatch computed the reachable closure for a decision "
+            "the frontier hint already settled"
+        )
+
+
+def test_auto_simulation_on_closure_registered_gsu_uses_countbatch():
+    """End-to-end through Simulation: a count-batch-scale GSU19 instance
+    dispatches to the configuration-space engine and runs O(k) from
+    initial_counts (no O(n) allocation — population 10^8 would not fit)."""
+    n = 10**8
+    simulation = Simulation(_small_gsu(n_hint=n), n, rng=5, engine_cls="auto")
+    assert isinstance(simulation.engine, CountBatchEngine)
+    simulation.engine.run(50_000)
+    counts = simulation.engine.state_counts()
+    assert sum(counts.values()) == n
+
+
+# ----------------------------------------------------------------------
+# The headline acceptance run (slow: ~1 min closure BFS at the default
+# calibration)
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_headline_auto_dispatch_at_default_calibration_1e8():
+    """`run_protocol(GSULeaderElection.for_population(10**8), 10**8,
+    engine="auto")` must dispatch to CountBatchEngine and simulate with peak
+    memory independent of n (the packed table for the ~1.8k-state closure
+    plus O(sqrt(n)) survival curve — tens of MB, not the >= 10 GB a
+    per-agent engine would need)."""
+    n = 10**8
+    protocol = GSULeaderElection.for_population(n)
+    assert auto_engine(protocol, n) is CountBatchEngine
+    protocol.compile()  # shared per-protocol table, n-independent
+    tracemalloc.start()
+    simulation = Simulation(protocol, n, rng=1, engine_cls="auto")
+    simulation.engine.run(100_000)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert isinstance(simulation.engine, CountBatchEngine)
+    assert sum(count for _, count in simulation.engine.state_count_items()) == n
+    assert peak < 256 * 2**20
+
+
+# ----------------------------------------------------------------------
+# state_space_size robustness
+# ----------------------------------------------------------------------
+def test_state_space_size_accepts_generators_and_sized_containers():
+    class GeneratorStates(ProtocolSpec):
+        def canonical_states(self):
+            return (state for state in ("a", "b", "c"))
+
+    generator_valued = GeneratorStates(
+        name="gen", initial="a", rules=lambda r, i: (r, i), outputs=lambda s: "F"
+    )
+    assert state_space_size(generator_valued) == 3
+    sized = ProtocolSpec(
+        name="sized",
+        initial="a",
+        rules=lambda r, i: (r, i),
+        outputs=lambda s: "F",
+        states=["a", "b"],
+    )
+    assert state_space_size(sized) == 2
+    lazy = ProtocolSpec(
+        name="lazy", initial="a", rules=lambda r, i: (r, i), outputs=lambda s: "F"
+    )
+    assert state_space_size(lazy) is None

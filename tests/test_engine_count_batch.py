@@ -111,8 +111,9 @@ def test_leader_count_monotone_on_slow_protocol():
 
 
 def test_works_with_lazily_discovered_state_space():
-    """GSU19 never declares canonical states; the engine must grow its count
-    vector (and the shared table) as new states appear."""
+    """A small-n_hint GSU19 instance declares no canonical states (its
+    reachable closure only kicks in at count-batch scale); the engine must
+    grow its count vector (and the shared table) as new states appear."""
     n = 256
     engine = CountBatchEngine(GSULeaderElection.for_population(n), n, rng=7)
     engine.run(40 * n)

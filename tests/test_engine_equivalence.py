@@ -35,6 +35,7 @@ from typing import Dict, List, Type
 import pytest
 
 from repro.analysis.stats import ks_two_sample, quantile_profile_distance
+from repro.core.params import GSUParams
 from repro.core.protocol import GSULeaderElection
 from repro.engine.base import BaseEngine
 from repro.engine.count_batch import CountBatchEngine
@@ -43,6 +44,7 @@ from repro.engine.engine import SequentialEngine
 from repro.engine.fast_batch import FastBatchEngine
 from repro.protocols.approximate_majority import ApproximateMajority
 from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.exact_majority import ExactMajority
 
 EXACT_ENGINES = (SequentialEngine, CountEngine, FastBatchEngine, CountBatchEngine)
 
@@ -65,17 +67,37 @@ def _single_leader(engine: BaseEngine) -> bool:
     return engine.leader_count() == 1
 
 
+def _exact_majority_done(engine: BaseEngine) -> bool:
+    return engine.counts_by_output().get("B", 0) == 0
+
+
 #: name -> (protocol factory over n, convergence predicate, parallel-time
 #: budget).  Small populations keep the per-seed cost tiny; the statistics
-#: come from the number of seeds.
+#: come from the number of seeds.  "gsu19-closure" runs the protocol with
+#: its reachable closure registered (count-batch-scale n_hint, small
+#: calibration so the BFS is sub-second): identifier layout then comes from
+#: the closure BFS instead of lazy discovery, and the count engines sample
+#: by identifier order — this workload pins that the re-layout is
+#: distributionally invisible.  "exact-majority" covers the newly
+#: count-enabled 4-state baseline.
 WORKLOADS: Dict[str, tuple] = {
     "epidemic": (lambda n: OneWayEpidemic(), _epidemic_done, 400),
+    "exact-majority": (
+        lambda n: ExactMajority.for_population(n, a_fraction=0.6),
+        _exact_majority_done,
+        800,
+    ),
     "majority": (
         lambda n: ApproximateMajority(initial_a_fraction=0.7),
         _majority_done,
         400,
     ),
     "gsu19": (lambda n: GSULeaderElection.for_population(n), _single_leader, 4000),
+    "gsu19-closure": (
+        lambda n: GSULeaderElection(GSUParams(n_hint=10**8, gamma=4, phi=1, psi=1)),
+        _single_leader,
+        4000,
+    ),
 }
 
 
@@ -118,13 +140,24 @@ def _samples_by_engine(workload: str, n: int, repetitions: int) -> Dict[str, Lis
 # ----------------------------------------------------------------------
 # Tier-1 sanity check: few seeds, coarse thresholds, runs in seconds.
 # ----------------------------------------------------------------------
+
+#: Per-workload quantile-distance bound for the 24-seed sanity check.  The
+#: gamma=4 clock of the closure-registered calibration has a much wider
+#: convergence-time spread (the sequential engine's *self*-distance across
+#: disjoint seed ranges reaches ~1.0 there at this sample size), so its
+#: bound is proportionally looser; the strict check is the 80-seed KS test
+#: in the slow suite, where all its engines sit at p = 0.7-0.98.
+_QUANTILE_BOUNDS = {"gsu19-closure": 3.0}
+
+
 @pytest.mark.parametrize("workload", sorted(WORKLOADS))
 def test_engines_agree_on_quantile_profiles(workload):
     samples = _samples_by_engine(workload, n=64, repetitions=24)
     reference = samples["SequentialEngine"]
+    bound = _QUANTILE_BOUNDS.get(workload, 1.5)
     for name, sample in samples.items():
         assert len(sample) == 24
-        assert quantile_profile_distance(reference, sample) < 1.5, (
+        assert quantile_profile_distance(reference, sample) < bound, (
             f"{name} convergence-time quantiles drifted from the sequential "
             f"reference on {workload}"
         )
@@ -135,7 +168,14 @@ def test_engines_agree_on_quantile_profiles(workload):
 # ----------------------------------------------------------------------
 @pytest.mark.slow
 @pytest.mark.parametrize(
-    "workload,n", [("epidemic", 128), ("majority", 128), ("gsu19", 128)]
+    "workload,n",
+    [
+        ("epidemic", 128),
+        ("exact-majority", 128),
+        ("majority", 128),
+        ("gsu19", 128),
+        ("gsu19-closure", 128),
+    ],
 )
 def test_cross_engine_ks_equivalence(workload, n):
     """Pairwise two-sample KS test over 80 seeds per engine.

@@ -266,9 +266,10 @@ def test_auto_engine_policy_without_c_kernel(monkeypatch):
     assert auto_engine(epidemic, 10**6) is FastBatchEngine
     assert auto_engine(epidemic, 10**7) is CountBatchEngine
     assert auto_engine(epidemic, 1 << 28) is CountBatchEngine
-    # Lazily discovered state space never dispatches to the count engines.
-    big_gsu = GSULeaderElection.for_population(1 << 28)
-    assert auto_engine(big_gsu, 1 << 28) is FastBatchEngine
+    # A small-n_hint GSU19 instance keeps its lazily discovered state space
+    # (no reachable closure), so the count engines are never dispatched.
+    small_gsu = GSULeaderElection.for_population(4096)
+    assert auto_engine(small_gsu, 1 << 28) is FastBatchEngine
 
 
 def test_auto_engine_policy_with_c_kernel(monkeypatch):
@@ -284,6 +285,49 @@ def test_auto_engine_policy_with_c_kernel(monkeypatch):
     assert auto_engine(epidemic, 1 << 28) is CountBatchEngine
 
 
+def test_auto_engine_cost_model_discriminates_by_state_count():
+    """The occupied-frontier cost model replaces the old flat 64-state cap:
+    a 4-state protocol crosses over later than a 2-state one, and above the
+    force threshold count-capability alone decides (per-agent construction
+    is the binding constraint there, not throughput)."""
+    from repro.engine.dispatch import _COUNTBATCH_FORCE_N, count_capable
+    from repro.protocols.exact_majority import ExactMajority
+
+    # 4 states: per-batch cost is ~4x the epidemic's, pushing the measured
+    # crossover past 3e6 (the 2-state crossover).
+    majority = ExactMajority.for_population(3 * 10**6)
+    assert count_capable(majority, 3 * 10**6) == 4
+    assert auto_engine(majority, 3 * 10**6) is FastBatchEngine
+    big_majority = ExactMajority.for_population(10**7)
+    assert auto_engine(big_majority, 10**7) is CountBatchEngine
+    # GS18 declares initial_counts but no finite state space: not capable.
+    from repro.protocols.gs18 import GS18LeaderElection
+
+    gs18 = GS18LeaderElection.for_population(_COUNTBATCH_FORCE_N)
+    assert count_capable(gs18, _COUNTBATCH_FORCE_N) is None
+    assert auto_engine(gs18, _COUNTBATCH_FORCE_N) is FastBatchEngine
+
+
+def test_auto_engine_dispatches_closure_registered_gsu19():
+    """A count-batch-scale GSU19 instance declares its reachable closure and
+    is force-dispatched to the configuration-space engine at sizes where
+    per-agent arrays stop being viable.  A small calibration keeps the
+    closure BFS fast; the default calibration is covered in the slow suite
+    (test_engine_closure.py)."""
+    from repro.core.params import GSUParams
+    from repro.engine.dispatch import _COUNTBATCH_FORCE_N, count_capable
+
+    protocol = GSULeaderElection(
+        GSUParams(n_hint=_COUNTBATCH_FORCE_N, gamma=4, phi=1, psi=1)
+    )
+    states = count_capable(protocol, _COUNTBATCH_FORCE_N)
+    assert states is not None and states > 64  # beyond the old flat cap
+    assert auto_engine(protocol, _COUNTBATCH_FORCE_N) is CountBatchEngine
+    # Below the force threshold the measured cost model is honest about the
+    # occupied frontier: GSU19's per-batch cost loses to the C kernel.
+    assert auto_engine(protocol, 10**7) is FastBatchEngine
+
+
 def test_resolve_engine_accepts_names_classes_and_none():
     epidemic = OneWayEpidemic()
     assert resolve_engine(None) is SequentialEngine
@@ -291,10 +335,9 @@ def test_resolve_engine_accepts_names_classes_and_none():
     assert resolve_engine("FASTBATCH") is FastBatchEngine
     assert resolve_engine("count") is CountEngine
     assert resolve_engine("countbatch") is CountBatchEngine
-    # FutureWarning so the notice survives Python's default filters on the
-    # CLI path (DeprecationWarning would be silently dropped there).
-    with pytest.warns(FutureWarning, match="superseded by 'countbatch'"):
-        assert resolve_engine("batch") is BatchEngine
+    # Resolution is silent for every spelling; the FutureWarning now lives
+    # on BatchEngine.__init__ so direct class use sees it too.
+    assert resolve_engine("batch") is BatchEngine
     assert resolve_engine(BatchEngine) is BatchEngine
     assert resolve_engine("auto", epidemic, 64) is SequentialEngine
     with pytest.raises(ConfigurationError):
@@ -305,11 +348,16 @@ def test_resolve_engine_accepts_names_classes_and_none():
         resolve_engine(42)
 
 
-def test_batch_engine_class_request_does_not_warn(recwarn):
-    # Only the *name* is deprecated (quick explorations that typed "batch"
-    # should migrate); programmatic class use stays silent.
+def test_batch_engine_warns_on_every_construction_path(recwarn):
+    """Both entry points — registry name and direct class — construct the
+    same warning-emitting engine; resolution itself stays silent."""
+    assert resolve_engine("batch") is BatchEngine
     assert resolve_engine(BatchEngine) is BatchEngine
     assert not [w for w in recwarn.list if issubclass(w.category, FutureWarning)]
+    with pytest.warns(FutureWarning, match="superseded by CountBatchEngine"):
+        resolve_engine("batch")(OneWayEpidemic(), 16, rng=0)
+    with pytest.warns(FutureWarning, match="superseded by CountBatchEngine"):
+        BatchEngine(OneWayEpidemic(), 16, rng=0)
 
 
 def test_kernel_cache_dir_resolution(monkeypatch, tmp_path):
@@ -335,11 +383,7 @@ def test_kernel_cache_dir_resolution(monkeypatch, tmp_path):
 def test_registry_and_names_are_consistent():
     assert set(ENGINE_NAMES) == set(ENGINE_REGISTRY) | {"auto"}
     for name, engine_cls in ENGINE_REGISTRY.items():
-        if name == "batch":
-            with pytest.warns(FutureWarning):
-                assert resolve_engine(name) is engine_cls
-        else:
-            assert resolve_engine(name) is engine_cls
+        assert resolve_engine(name) is engine_cls
     # The dispatcher never selects the approximate engine.
     assert BatchEngine not in {
         auto_engine(OneWayEpidemic(), n) for n in (64, 10**4, 10**6, 1 << 28)

@@ -26,9 +26,29 @@ from repro.protocols.slow import SlowLeaderElection
 # Config
 # ----------------------------------------------------------------------
 def test_config_presets_are_valid():
-    for preset in (ExperimentConfig.smoke(), ExperimentConfig.default(), ExperimentConfig.large()):
+    presets = (
+        ExperimentConfig.smoke(),
+        ExperimentConfig.default(),
+        ExperimentConfig.large(),
+        ExperimentConfig.headline(),
+    )
+    for preset in presets:
         assert preset.repetitions >= 1
         assert len(preset.population_sizes) >= 1
+
+
+def test_headline_preset_targets_the_count_space_tier():
+    """The n = 10^7/10^8 GSU19 scenario tier rides on auto dispatch: the
+    10^8 point only exists because the configuration-space engine does."""
+    preset = ExperimentConfig.headline()
+    assert preset.population_sizes == (10**7, 10**8)
+    assert preset.engine == "auto"
+    # The Θ(n)-time baselines must stay capped far below the tier sizes.
+    assert preset.slow_protocol_max_n <= 10**5
+    # CLI exposure: the preset is selectable as --preset headline.
+    from repro.cli import _PRESETS
+
+    assert _PRESETS["headline"]() == preset
 
 
 def test_config_validation():

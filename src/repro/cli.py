@@ -19,6 +19,14 @@ The ``headline`` preset is the ``n = 10^7``/``10^8`` GSU19 scenario tier on
 wall clock)::
 
     python -m repro.cli run table1 --preset headline
+
+Long campaigns are made restartable with the on-disk experiment store:
+``--store DIR`` persists every completed experiment under a content hash of
+``(experiment, configuration)``, and adding ``--resume`` makes a rerun load
+completed experiments from the store and execute only the missing ones —
+so a crashed ``run-all`` picks up where it left off::
+
+    python -m repro.cli run-all --preset default --store results/store --resume
 """
 
 from __future__ import annotations
@@ -99,6 +107,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="directory to write CSV/JSON/markdown results to",
         )
         sub.add_argument(
+            "--store",
+            type=str,
+            default=None,
+            metavar="DIR",
+            help=(
+                "on-disk experiment store: completed experiments are "
+                "persisted here under a content hash of (experiment, "
+                "configuration)"
+            ),
+        )
+        sub.add_argument(
+            "--resume",
+            action="store_true",
+            help=(
+                "with --store, load experiments already completed under this "
+                "exact configuration instead of re-running them"
+            ),
+        )
+        sub.add_argument(
             "--no-charts",
             action="store_true",
             help="do not print ASCII charts",
@@ -129,7 +156,11 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _run_one(name: str, config: ExperimentConfig, args: argparse.Namespace) -> None:
-    result = run_experiment(name, config)
+    result = run_experiment(
+        name, config, store=args.store, resume=args.resume
+    )
+    if result.metadata.get("loaded_from_store"):
+        print(f"[{name}: loaded completed result from store {args.store}]\n")
     print(render_report(result, charts=not args.no_charts))
     if args.output:
         directory = write_result(result, args.output)
@@ -146,6 +177,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(name)
         return 0
 
+    if getattr(args, "resume", False) and not getattr(args, "store", None):
+        parser.error("--resume requires --store DIR")
     config = config_from_args(args)
     if args.command == "run":
         _run_one(args.experiment, config, args)

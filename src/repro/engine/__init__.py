@@ -96,6 +96,22 @@ and constructing it emits a :class:`FutureWarning`.
 The :mod:`repro.engine.simulation` module layers run management (convergence
 predicates, interaction budgets, recorders, result objects) on top of the
 engines, and :mod:`repro.engine.parallel` adds multi-seed sweep drivers.
+
+Checkpoint / resume
+===================
+
+Every engine carries a bit-exact snapshot API
+(:meth:`~repro.engine.base.BaseEngine.snapshot` /
+:meth:`~repro.engine.base.BaseEngine.restore`): configuration, interaction
+counter, registered state-identifier layout and the **full RNG state**
+including pre-drawn randomness buffers.  A run interrupted at a driver
+boundary and resumed from a snapshot continues the *same* trajectory,
+byte-for-byte — pinned against the per-(protocol, engine) digest pins by
+``tests/test_engine_checkpoint.py``.  ``run_protocol`` wires this through
+``checkpoint_every=`` / ``checkpoint_path=`` / ``resume=True`` (atomic
+write-replace checkpoint files, see :mod:`repro.experiments.io`), and
+``run_many(..., store=DIR)`` adds sweep-cell-level resumability through the
+content-addressed on-disk store (:mod:`repro.experiments.store`).
 """
 
 from __future__ import annotations
@@ -104,7 +120,7 @@ from repro.engine.protocol import PopulationProtocol, ProtocolSpec
 from repro.engine.state import StateEncoder
 from repro.engine.table import TransitionTable
 from repro.engine.closure import reachable_states
-from repro.engine.rng import make_rng, spawn_seeds
+from repro.engine.rng import make_rng, restore_rng_state, rng_state, spawn_seeds
 from repro.engine.scheduler import PairSampler
 from repro.engine.engine import SequentialEngine
 from repro.engine.count_engine import CountEngine
@@ -141,6 +157,8 @@ __all__ = [
     "TransitionTable",
     "reachable_states",
     "make_rng",
+    "rng_state",
+    "restore_rng_state",
     "spawn_seeds",
     "PairSampler",
     "SequentialEngine",

@@ -21,10 +21,16 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointError, ConfigurationError
 from repro.types import State
 
-__all__ = ["BaseEngine"]
+__all__ = ["BaseEngine", "SNAPSHOT_VERSION"]
+
+#: Version stamp embedded in every engine snapshot.  Bump when the snapshot
+#: layout changes incompatibly; :meth:`BaseEngine.restore` refuses snapshots
+#: from another version — restoring guessed fields would silently change
+#: trajectories, the one thing a checkpoint must never do.
+SNAPSHOT_VERSION = 1
 
 
 class BaseEngine(abc.ABC):
@@ -146,6 +152,128 @@ class BaseEngine(abc.ABC):
         (the paper's "number of states utilised by each agent").
         """
         return len(self._ever_occupied)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Bit-exact snapshot of this engine's run state.
+
+        The snapshot captures everything the trajectory depends on beyond
+        the (pure, deterministic) protocol itself: the configuration
+        (per-agent array or count vector, engine-specific), the interaction
+        counter, the ever-occupied state set, the full RNG state — including
+        any pre-drawn randomness buffers (pair blocks, uniform blocks) — and
+        the registered state-identifier layout, which lazily discovering
+        engines depend on.
+
+        The invariant (pinned by ``tests/test_engine_checkpoint.py``): a run
+        interrupted at any driver boundary (a ``run``/``run_until`` check
+        point — never inside ``_perform_steps``) and resumed through
+        :meth:`restore` produces a trajectory bit-for-bit identical to the
+        uninterrupted run, provided the driver issues the same sequence of
+        step counts afterwards.
+
+        The returned dictionary owns copies of all mutable state and is
+        picklable (it contains protocol state objects, so it is generally
+        *not* JSON-serialisable); persist it with
+        :func:`repro.experiments.io.write_checkpoint`.
+        """
+        return {
+            "version": SNAPSHOT_VERSION,
+            "engine": type(self).__name__,
+            "protocol": self.protocol.name,
+            "n": self.n,
+            "interactions": self.interactions,
+            "encoder_states": self.encoder.states(),
+            "occupied_ids": self._occupied_ids(),
+            "payload": self._state_snapshot(),
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind this engine to a state captured by :meth:`snapshot`.
+
+        The engine must have been constructed for the same protocol (by
+        name), population size and engine class as the snapshot's source;
+        mismatches raise :class:`~repro.errors.CheckpointError`.  Restoring
+        first re-registers the snapshot's states in its recorded order, so
+        the state-identifier layout — which the count engines' sampling
+        order and the packed lookup tables depend on — is reproduced exactly
+        even on a freshly compiled protocol instance.
+        """
+        version = snapshot.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"snapshot version {version!r} is not supported by this "
+                f"build (expected {SNAPSHOT_VERSION})"
+            )
+        if snapshot.get("engine") != type(self).__name__:
+            raise CheckpointError(
+                f"snapshot was taken from engine {snapshot.get('engine')!r}, "
+                f"cannot restore into {type(self).__name__}"
+            )
+        if snapshot.get("protocol") != self.protocol.name:
+            raise CheckpointError(
+                f"snapshot was taken from protocol {snapshot.get('protocol')!r}, "
+                f"cannot restore into {self.protocol.name!r}"
+            )
+        if int(snapshot.get("n", -1)) != self.n:
+            raise CheckpointError(
+                f"snapshot was taken at population size {snapshot.get('n')}, "
+                f"cannot restore into n={self.n}"
+            )
+        # Reproduce the state-identifier layout.  Registration is append-only
+        # and deterministic (canonical states, then initial states, then
+        # discovery order), so encoding the recorded states in order must
+        # yield their recorded identifiers; anything else means the target
+        # table has an incompatible compilation history.
+        for expected_id, state in enumerate(snapshot["encoder_states"]):
+            sid = self.table.encode(state)
+            if sid != expected_id:
+                raise CheckpointError(
+                    f"state {state!r} registered under id {sid}, but the "
+                    f"snapshot recorded id {expected_id}; the protocol "
+                    "instance has an incompatible state-registration history "
+                    "(restore into a freshly constructed protocol)"
+                )
+        self.interactions = int(snapshot["interactions"])
+        self._restore_occupied(snapshot["occupied_ids"])
+        self._state_restore(snapshot["payload"])
+
+    @classmethod
+    def from_snapshot(
+        cls, protocol: PopulationProtocol, snapshot: dict, **engine_kwargs
+    ) -> "BaseEngine":
+        """Construct an engine for ``protocol`` and restore ``snapshot``.
+
+        Convenience wrapper for the common resume flow: build the engine
+        normally (construction consumes no randomness) and overwrite its
+        run state from the snapshot.
+        """
+        engine = cls(protocol, int(snapshot["n"]), **engine_kwargs)
+        engine.restore(snapshot)
+        return engine
+
+    @abc.abstractmethod
+    def _state_snapshot(self) -> dict:
+        """Engine-specific snapshot payload (copies, picklable)."""
+
+    @abc.abstractmethod
+    def _state_restore(self, payload: dict) -> None:
+        """Restore the engine-specific payload from :meth:`_state_snapshot`.
+
+        Called after the encoder layout, interaction counter and occupancy
+        set have been restored, so ``len(self.encoder)`` already covers every
+        identifier in the payload.
+        """
+
+    def _occupied_ids(self) -> List[int]:
+        """Sorted ever-occupied state ids (overridden by mask-based engines)."""
+        return sorted(int(sid) for sid in self._ever_occupied)
+
+    def _restore_occupied(self, ids) -> None:
+        """Restore the ever-occupied set (overridden by mask-based engines)."""
+        self._ever_occupied = {int(sid) for sid in ids}
 
     # ------------------------------------------------------------------
     # Run drivers

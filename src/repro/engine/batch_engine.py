@@ -34,7 +34,7 @@ import numpy as np
 from repro.engine.base import BaseEngine
 from repro.engine.count_engine import initial_count_items
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.rng import RngLike, make_rng
+from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
 from repro.errors import ConfigurationError
 
 __all__ = ["BatchEngine"]
@@ -147,6 +147,23 @@ class BatchEngine(BaseEngine):
             batch = min(self.batch_size, remaining)
             self._run_batch(batch)
             remaining -= batch
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _state_snapshot(self) -> dict:
+        return {
+            "counts": list(self._counts),
+            "rng": rng_state(self._rng),
+            "batch_size": self.batch_size,
+        }
+
+    def _state_restore(self, payload: dict) -> None:
+        counts = [int(count) for count in payload["counts"]]
+        counts.extend([0] * (len(self.encoder) - len(counts)))
+        self._counts = counts
+        restore_rng_state(self._rng, payload["rng"])
+        self.batch_size = int(payload["batch_size"])
 
     # ------------------------------------------------------------------
     def state_count_items(self) -> List[Tuple[int, int]]:

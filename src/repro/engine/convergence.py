@@ -18,6 +18,25 @@ provides a small vocabulary of practically useful predicates:
   protocols without a structural certificate).
 * :class:`NeverConverge` — run to the interaction budget (for fixed-horizon
   measurements).
+
+Predicates are callables on engines and are evaluated through the shared
+inspection API, so any engine representation works:
+
+    >>> from repro.engine.convergence import SingleLeader
+    >>> from repro.engine.engine import SequentialEngine
+    >>> from repro.protocols.slow import SlowLeaderElection
+    >>> engine = SequentialEngine(SlowLeaderElection(), 16, rng=0)
+    >>> predicate = SingleLeader()
+    >>> predicate(engine)       # all 16 agents still map to "L"
+    False
+    >>> engine.run_until(predicate, max_interactions=100_000)
+    True
+    >>> engine.leader_count()
+    1
+
+Stateful predicates (:class:`StableOutputs`) are reset at the start of every
+:meth:`Simulation.run <repro.engine.simulation.Simulation.run>` and are not
+carried across checkpoint/resume boundaries.
 """
 
 from __future__ import annotations

@@ -69,7 +69,7 @@ import numpy as np
 from repro.engine.base import BaseEngine
 from repro.engine.count_engine import initial_count_items, sample_weighted_index
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.rng import RngLike, make_rng
+from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
 
 __all__ = ["CountBatchEngine"]
 
@@ -368,6 +368,19 @@ class CountBatchEngine(BaseEngine):
         remaining = int(count)
         while remaining > 0:
             remaining -= self._run_batch(remaining)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _state_snapshot(self) -> dict:
+        # The survival curve is a pure function of n, rebuilt at
+        # construction; only the counts and the RNG position are run state.
+        return {"counts": self._counts.copy(), "rng": rng_state(self._rng)}
+
+    def _state_restore(self, payload: dict) -> None:
+        counts = np.asarray(payload["counts"], dtype=np.int64).copy()
+        self._counts = self._grown(counts, len(self.encoder))
+        restore_rng_state(self._rng, payload["rng"])
 
     # ------------------------------------------------------------------
     # Inspection

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.engine.base import BaseEngine
 from repro.engine.protocol import PopulationProtocol
-from repro.engine.rng import RngLike, make_rng
+from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
 from repro.errors import ProtocolError
 
 __all__ = ["CountEngine", "initial_count_items", "sample_weighted_index"]
@@ -184,6 +184,26 @@ class CountEngine(BaseEngine):
                 counts[new_initiator_id] += 1
                 seen_add(new_initiator_id)
             self.interactions += 1
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _state_snapshot(self) -> dict:
+        return {
+            "counts": list(self._counts),
+            "rng": rng_state(self._rng),
+            # Uniform deviates are pre-drawn in blocks; an interrupted run
+            # owes its resumption the unconsumed tail before any fresh draw.
+            "pending_uniforms": self._uniforms[self._cursor :].tolist(),
+        }
+
+    def _state_restore(self, payload: dict) -> None:
+        counts = [int(count) for count in payload["counts"]]
+        counts.extend([0] * (len(self.encoder) - len(counts)))
+        self._counts = counts
+        restore_rng_state(self._rng, payload["rng"])
+        self._uniforms = np.asarray(payload["pending_uniforms"], dtype=np.float64)
+        self._cursor = 0
 
     # ------------------------------------------------------------------
     def state_count_items(self) -> List[Tuple[int, int]]:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.engine.base import BaseEngine
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike, make_rng
@@ -97,6 +99,26 @@ class SequentialEngine(BaseEngine):
                     seen_add(new_initiator_id)
             remaining -= chunk
             self.interactions += chunk
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _state_snapshot(self) -> dict:
+        return {
+            # int32 halves the checkpoint size of the O(n) array; state ids
+            # are tiny (the fast-batch engine stores them as int32 for the
+            # same reason).
+            "agent_states": np.asarray(self._agent_states, dtype=np.int32),
+            "sampler": self._sampler.state_snapshot(),
+        }
+
+    def _state_restore(self, payload: dict) -> None:
+        self._agent_states = [int(sid) for sid in payload["agent_states"]]
+        counts = [0] * len(self.encoder)
+        for sid in self._agent_states:
+            counts[sid] += 1
+        self._counts = counts
+        self._sampler.state_restore(payload["sampler"])
 
     # ------------------------------------------------------------------
     def state_count_items(self) -> List[Tuple[int, int]]:

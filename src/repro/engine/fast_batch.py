@@ -344,6 +344,38 @@ class FastBatchEngine(BaseEngine):
     def states_ever_occupied(self) -> int:
         return int(np.count_nonzero(self._seen))
 
+    def _occupied_ids(self) -> List[int]:
+        return np.flatnonzero(self._seen).tolist()
+
+    def _restore_occupied(self, ids) -> None:
+        self._ensure_seen()
+        self._seen[:] = 0
+        for sid in ids:
+            self._seen[int(sid)] = 1
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _state_snapshot(self) -> dict:
+        return {
+            "agent_states": self._agent_states.copy(),
+            "sampler": self._sampler.state_snapshot(),
+            # The block size shapes randomness consumption (one pair_block
+            # draw per block), so a restored engine must batch identically.
+            "block": self._block,
+        }
+
+    def _state_restore(self, payload: dict) -> None:
+        self._agent_states = np.asarray(
+            payload["agent_states"], dtype=np.int32
+        ).copy()
+        self._sampler.state_restore(payload["sampler"])
+        self._block = int(payload["block"])
+        self._cached_counts = np.bincount(
+            self._agent_states, minlength=len(self.encoder)
+        )
+        self._cached_counts_stamp = self.interactions
+
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------

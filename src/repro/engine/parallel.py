@@ -4,7 +4,13 @@ Experiments repeat each configuration across many seeds and several
 population sizes.  :func:`run_many` executes such a sweep either serially or
 on a process pool.  Protocol *factories* (rather than protocol instances) are
 passed around so that each worker builds its own protocol — protocols carry
-parameter objects derived from ``n`` and are cheap to construct.
+parameter objects derived from ``n`` and are cheap to construct:
+
+    >>> from repro.protocols.slow import SlowLeaderElection
+    >>> points = run_many(lambda n: SlowLeaderElection(), [8, 16],
+    ...                   repetitions=2, max_parallel_time=500.0)
+    >>> [(p.n, p.result.converged) for p in points]
+    [(8, True), (8, True), (16, True), (16, True)]
 
 The engine is an explicit sweep parameter: pass ``engine="auto"`` to let
 :func:`repro.engine.dispatch.auto_engine` pick the fastest exact engine per
@@ -13,6 +19,38 @@ population size (the choice can differ between the sizes of one sweep — a
 the large one on the configuration-space ``countbatch`` engine).  Engine
 names and classes both pickle, so the parameter survives the process pool
 untouched.
+
+Resumable sweeps
+================
+
+Pass ``store=`` (a directory path or an
+:class:`~repro.experiments.store.ExperimentStore`) to make the sweep
+restartable: every completed cell is persisted under a content hash of its
+inputs — protocol fingerprint, ``n``, seed, engine, convergence predicate
+and budget — and a rerun with the same arguments loads finished cells from
+disk and executes only the missing ones.  Cells loaded from the store are
+marked with ``extra={"cached": True}`` on their :class:`SweepPoint`:
+
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as directory:
+    ...     first = run_many(lambda n: SlowLeaderElection(), [8],
+    ...                      repetitions=2, max_parallel_time=500.0,
+    ...                      store=directory)
+    ...     again = run_many(lambda n: SlowLeaderElection(), [8],
+    ...                      repetitions=2, max_parallel_time=500.0,
+    ...                      store=directory)
+    >>> [point.extra.get("cached", False) for point in first]
+    [False, False]
+    >>> [point.extra.get("cached", False) for point in again]
+    [True, True]
+    >>> [p.result.interactions for p in again] == [
+    ...     p.result.interactions for p in first]
+    True
+
+Per-run seeds are spawned prefix-stably from ``base_seed`` (the first
+``repetitions`` seeds of a size do not depend on how many sizes follow), so
+growing a sweep — more sizes, more repetitions — reuses every cell the
+smaller sweep already computed.
 """
 
 from __future__ import annotations
@@ -20,7 +58,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.engine.convergence import ConvergencePredicate
 from repro.engine.dispatch import EngineSpec
@@ -67,6 +106,40 @@ def _run_single(
     return SweepPoint(n=n, seed=seed, result=result)
 
 
+def _cell_key_for(
+    store,
+    factory: ProtocolFactory,
+    n: int,
+    seed: int,
+    max_parallel_time: float,
+    convergence_factory: Optional[ConvergenceFactory],
+    engine: EngineSpec,
+    run_kwargs: Dict[str, object],
+):
+    """``(key, inputs)`` identifying one sweep cell in the store.
+
+    The protocol and convergence predicate are constructed only to read
+    their fingerprint / description — both are cheap by contract (protocol
+    factories are passed around for exactly this reason).
+    """
+    from repro.experiments.store import content_key
+
+    convergence = (
+        convergence_factory(n) if convergence_factory is not None else None
+    )
+    description = convergence.description if convergence is not None else None
+    inputs = store.cell_inputs(
+        factory(n),
+        n,
+        seed,
+        engine=engine,
+        convergence=description,
+        max_parallel_time=max_parallel_time,
+        extra={key: run_kwargs[key] for key in sorted(run_kwargs)} or None,
+    )
+    return content_key(inputs), inputs
+
+
 def run_many(
     factory: ProtocolFactory,
     ns: Sequence[int],
@@ -77,6 +150,7 @@ def run_many(
     convergence_factory: Optional[ConvergenceFactory] = None,
     workers: Optional[int] = None,
     engine: EngineSpec = None,
+    store: Union["ExperimentStore", str, Path, None] = None,  # noqa: F821
     **run_kwargs: object,
 ) -> List[SweepPoint]:
     """Run ``factory(n)`` for every ``n`` and ``repetitions`` seeds each.
@@ -105,8 +179,17 @@ def run_many(
         Engine specification — a name, ``"auto"``, an engine class, or
         ``None`` for the default sequential engine (see
         :func:`repro.engine.dispatch.resolve_engine`).
+    store:
+        Optional on-disk experiment store (directory path or
+        :class:`~repro.experiments.store.ExperimentStore`).  Completed
+        cells are loaded instead of re-run and fresh cells are persisted
+        on completion, making the sweep resumable after an interruption —
+        see the module docstring.  Loaded cells carry
+        ``extra={"cached": True}``.
     run_kwargs:
-        Forwarded to :func:`repro.engine.simulation.run_protocol`.
+        Forwarded to :func:`repro.engine.simulation.run_protocol` (and, when
+        a store is used, hashed into the cell key — a sweep with a
+        different ``check_every`` is a different sweep).
 
     Returns
     -------
@@ -117,6 +200,11 @@ def run_many(
         raise ConfigurationError("sweep requires at least one population size")
     if repetitions < 1:
         raise ConfigurationError(f"repetitions must be >= 1, got {repetitions}")
+    if store is not None:
+        # Lazy import: repro.experiments imports this module at load time.
+        from repro.experiments.store import ExperimentStore
+
+        store = ExperimentStore.ensure(store)
     seeds = spawn_seeds(base_seed, len(ns) * repetitions)
     jobs = []
     cursor = 0
@@ -125,11 +213,45 @@ def run_many(
             jobs.append((n, seeds[cursor]))
             cursor += 1
 
+    # Resolve every cell against the store first, so the pool only ever
+    # sees the missing cells.
+    cached: Dict[int, SweepPoint] = {}
+    pending: List[tuple] = []  # (job_index, n, seed, key, inputs)
+    for index, (n, seed) in enumerate(jobs):
+        if store is None:
+            pending.append((index, n, seed, None, None))
+            continue
+        key, inputs = _cell_key_for(
+            store,
+            factory,
+            n,
+            seed,
+            max_parallel_time,
+            convergence_factory,
+            engine,
+            dict(run_kwargs),
+        )
+        result = store.load_result(key)
+        if result is not None:
+            cached[index] = SweepPoint(
+                n=n, seed=seed, result=result, extra={"cached": True}
+            )
+        else:
+            pending.append((index, n, seed, key, inputs))
+
+    points: Dict[int, SweepPoint] = dict(cached)
+
+    def record(index: int, key, inputs, point: SweepPoint) -> None:
+        if store is not None and key is not None:
+            store.save_result(key, point.result, inputs)
+            point.extra["cached"] = False
+        points[index] = point
+
     if workers is None:
         workers = 0
     if workers <= 1:
-        return [
-            _run_single(
+        for index, n, seed, key, inputs in pending:
+            point = _run_single(
                 factory,
                 n,
                 seed,
@@ -138,25 +260,29 @@ def run_many(
                 engine,
                 dict(run_kwargs),
             )
-            for n, seed in jobs
-        ]
+            record(index, key, inputs, point)
+        return [points[index] for index in range(len(jobs))]
 
     max_workers = min(workers, os.cpu_count() or 1)
-    points: List[SweepPoint] = []
     with ProcessPoolExecutor(max_workers=max_workers) as executor:
         futures = [
-            executor.submit(
-                _run_single,
-                factory,
-                n,
-                seed,
-                max_parallel_time,
-                convergence_factory,
-                engine,
-                dict(run_kwargs),
+            (
+                index,
+                key,
+                inputs,
+                executor.submit(
+                    _run_single,
+                    factory,
+                    n,
+                    seed,
+                    max_parallel_time,
+                    convergence_factory,
+                    engine,
+                    dict(run_kwargs),
+                ),
             )
-            for n, seed in jobs
+            for index, n, seed, key, inputs in pending
         ]
-        for future in futures:
-            points.append(future.result())
-    return points
+        for index, key, inputs, future in futures:
+            record(index, key, inputs, future.result())
+    return [points[index] for index in range(len(jobs))]

@@ -152,6 +152,43 @@ class PopulationProtocol(abc.ABC):
         """Human readable rendering of a state (for traces and debugging)."""
         return repr(state)
 
+    def fingerprint(self) -> Dict[str, object]:
+        """Content identity of this protocol for the experiment store.
+
+        Returns a JSON-serialisable dictionary that determines the
+        protocol's behaviour: the concrete class plus every public
+        constructor-derived attribute (parameter objects render through
+        their — deterministic — dataclass ``repr``).  Two protocol
+        instances with equal fingerprints must produce identical dynamics;
+        the on-disk store (:mod:`repro.experiments.store`) hashes this,
+        together with ``(n, seed, engine, convergence, budget)``, into the
+        cell key under which completed runs are cached.
+
+        Memory addresses inside ``repr`` output (ad-hoc
+        :class:`ProtocolSpec` callables, for example) are stripped so the
+        fingerprint is stable across processes; protocols whose behaviour
+        is carried by such callables should set a distinctive ``name`` —
+        or override this method — since the callable's *code* is not part
+        of the hash.
+        """
+        import re
+
+        from repro.types import plain_data
+
+        def stable_repr(value: object) -> str:
+            return re.sub(r" at 0x[0-9a-fA-F]+", "", repr(value))
+
+        cls = type(self)
+        return {
+            "class": f"{cls.__module__}.{cls.__qualname__}",
+            "name": self.name,
+            "params": {
+                key: plain_data(value, fallback=stable_repr)
+                for key, value in sorted(vars(self).items())
+                if not key.startswith("_")
+            },
+        }
+
     # ------------------------------------------------------------------
     # Validation helpers
     # ------------------------------------------------------------------

@@ -6,6 +6,22 @@ recorder at each convergence-check point (every ``check_every`` interactions).
 Recorders are how the experiment harness extracts time series such as "number
 of active leader candidates over time" or "coin level histogram at the end of
 every phase-clock round" without slowing down the engine's hot loop.
+
+Recorders read engines only through the shared inspection API, so they work
+identically on per-agent and count-space engines:
+
+    >>> from repro.engine.recorder import MetricRecorder
+    >>> from repro.engine.count_engine import CountEngine
+    >>> from repro.protocols.slow import SlowLeaderElection
+    >>> recorder = MetricRecorder(metric=lambda e: e.count_of("L"),
+    ...                           name="leaders")
+    >>> engine = CountEngine(SlowLeaderElection(), 32, rng=0)
+    >>> recorder.record(engine)
+    >>> recorder.last()   # everyone starts as a leader
+    32.0
+
+Recorder state lives in memory for the duration of one run; it is **not**
+part of engine checkpoints (a resumed run records from the resume point on).
 """
 
 from __future__ import annotations

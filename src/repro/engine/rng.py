@@ -14,7 +14,14 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "make_rng", "spawn_seeds", "DEFAULT_SEED"]
+__all__ = [
+    "RngLike",
+    "make_rng",
+    "spawn_seeds",
+    "rng_state",
+    "restore_rng_state",
+    "DEFAULT_SEED",
+]
 
 RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
@@ -36,6 +43,38 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     if seed is None:
         seed = DEFAULT_SEED
     return np.random.default_rng(seed)
+
+
+def rng_state(generator: np.random.Generator) -> dict:
+    """Serialisable state of ``generator``'s underlying bit generator.
+
+    The returned dictionary (NumPy's documented bit-generator state format,
+    plain integers and strings) pins the generator's position in its stream
+    exactly; feeding it to :func:`restore_rng_state` resumes the stream so
+    that every subsequent draw is identical.  This is the RNG half of the
+    engines' bit-exact :meth:`~repro.engine.base.BaseEngine.snapshot` API.
+    """
+    return generator.bit_generator.state
+
+
+def restore_rng_state(generator: np.random.Generator, state: dict) -> None:
+    """Rewind ``generator`` to a state captured by :func:`rng_state`.
+
+    The generator must wrap the same bit-generator type the state was taken
+    from (PCG64 for every generator built by :func:`make_rng`); a mismatch
+    raises :class:`~repro.errors.CheckpointError` rather than silently
+    producing a different stream.
+    """
+    from repro.errors import CheckpointError
+
+    expected = type(generator.bit_generator).__name__
+    recorded = state.get("bit_generator")
+    if recorded != expected:
+        raise CheckpointError(
+            f"cannot restore a {recorded!r} bit-generator state into a "
+            f"generator backed by {expected!r}"
+        )
+    generator.bit_generator.state = state
 
 
 def spawn_seeds(base_seed: int, count: int) -> List[int]:

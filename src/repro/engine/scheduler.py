@@ -14,8 +14,8 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-from repro.engine.rng import RngLike, make_rng
-from repro.errors import ConfigurationError
+from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
+from repro.errors import CheckpointError, ConfigurationError
 
 __all__ = ["PairSampler"]
 
@@ -101,3 +101,36 @@ class PairSampler:
     def generator(self) -> np.random.Generator:
         """The underlying NumPy generator (shared, not copied)."""
         return self._rng
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the sampler half of engine checkpoints)
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Bit-exact snapshot: RNG state plus the unconsumed buffer tail.
+
+        :meth:`next_pair` hands out pairs from a pre-drawn block, so a
+        sampler interrupted mid-block owes its caller the *remaining* buffer
+        entries before any fresh randomness is drawn.  The snapshot stores
+        that tail (empty for callers that only use :meth:`pair_block`, which
+        draws directly from the generator) together with the generator
+        state, so a restored sampler produces exactly the pair sequence the
+        original would have.
+        """
+        return {
+            "n": self.n,
+            "rng": rng_state(self._rng),
+            "pending_a": self._buffer_a[self._cursor :].tolist(),
+            "pending_b": self._buffer_b[self._cursor :].tolist(),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Rewind this sampler to a state captured by :meth:`state_snapshot`."""
+        if int(snapshot["n"]) != self.n:
+            raise CheckpointError(
+                f"sampler snapshot was taken for population size "
+                f"{snapshot['n']}, cannot restore into n={self.n}"
+            )
+        restore_rng_state(self._rng, snapshot["rng"])
+        self._buffer_a = np.asarray(snapshot["pending_a"], dtype=np.int64)
+        self._buffer_b = np.asarray(snapshot["pending_b"], dtype=np.int64)
+        self._cursor = 0

@@ -1,26 +1,65 @@
-"""High-level run management: budgets, convergence, recorders, results.
+"""High-level run management: budgets, convergence, recorders, checkpoints.
 
 :class:`Simulation` wires together an engine, a convergence predicate and a
 set of recorders, and produces a :class:`RunResult` — the unit of data the
 analysis and experiment layers operate on.  The convenience function
 :func:`run_protocol` covers the common "one protocol, one seed, run until a
-single leader or a parallel-time budget" case in a single call.
+single leader or a parallel-time budget" case in a single call:
+
+    >>> from repro.protocols.slow import SlowLeaderElection
+    >>> result = run_protocol(SlowLeaderElection(), 8, seed=3,
+    ...                       max_parallel_time=500.0)
+    >>> result.converged, result.leader_count
+    (True, 1)
+
+Checkpoint / resume
+===================
+
+Long runs are made durable by periodic checkpointing: pass
+``checkpoint_every`` (an interaction period) and ``checkpoint_path`` and the
+driver atomically write-replaces a checkpoint file at every due convergence
+check point.  A killed run is resumed with ``resume=True`` — the engine is
+rebuilt from the snapshot (same engine class, same RNG position, same state
+layout) and the budget is interpreted as the *total* run budget, so the
+resumed run stops exactly where the uninterrupted one would have:
+
+    >>> import tempfile, os
+    >>> from repro.protocols.epidemic import OneWayEpidemic
+    >>> path = os.path.join(tempfile.mkdtemp(), "run.ckpt")
+    >>> full = run_protocol(OneWayEpidemic(), 64, seed=5,
+    ...                     max_parallel_time=8.0)        # the reference run
+    >>> half = run_protocol(OneWayEpidemic(), 64, seed=5,
+    ...                     max_parallel_time=4.0,        # "crashes" half-way
+    ...                     checkpoint_every=64, checkpoint_path=path)
+    >>> resumed = run_protocol(OneWayEpidemic(), 64, seed=5,
+    ...                        max_parallel_time=8.0,     # total, not extra
+    ...                        checkpoint_path=path, resume=True)
+    >>> resumed.interactions == full.interactions
+    True
+    >>> resumed.final_counts == full.final_counts
+    True
+
+Because engine snapshots are bit-exact (they carry the full RNG state,
+including pre-drawn randomness buffers), the resumed trajectory is not
+merely statistically equivalent — it is the *same* trajectory, as the
+equality above pins down.
 """
 
 from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.engine.base import BaseEngine
 from repro.engine.convergence import ConvergencePredicate, SingleLeader
-from repro.engine.dispatch import EngineSpec, resolve_engine
+from repro.engine.dispatch import ENGINE_REGISTRY, EngineSpec, resolve_engine
 from repro.engine.engine import SequentialEngine
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.recorder import Recorder
 from repro.engine.rng import RngLike
-from repro.errors import ConfigurationError, ConvergenceError
+from repro.errors import CheckpointError, ConfigurationError, ConvergenceError
 from repro.types import State
 
 __all__ = ["RunResult", "Simulation", "run_protocol"]
@@ -89,7 +128,41 @@ class RunResult:
 
 
 class Simulation:
-    """Couples an engine with a convergence predicate and recorders."""
+    """Couples an engine with a convergence predicate and recorders.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to simulate.
+    n:
+        Population size.
+    rng:
+        Seed or generator for the engine.
+    engine_cls:
+        Engine specification — class, registry name or ``"auto"``.
+    engine_kwargs:
+        Extra keyword arguments for the engine constructor.
+    convergence:
+        Convergence predicate; defaults to :class:`SingleLeader`.
+    recorders:
+        Observers invoked at every check point.
+    check_every:
+        Convergence-check period in interactions (default: ``n``).
+    checkpoint_every:
+        When set (with ``checkpoint_path``), write a resumable checkpoint
+        at every convergence check point at least this many interactions
+        after the previous one.  Checkpoints are atomic write-replace, so
+        an interrupted write leaves the previous checkpoint intact.
+    checkpoint_path:
+        Where checkpoints are written (one file, overwritten in place).
+
+    Example::
+
+        >>> from repro.protocols.slow import SlowLeaderElection
+        >>> sim = Simulation(SlowLeaderElection(), 8, rng=3)
+        >>> sim.run(max_parallel_time=500.0).converged
+        True
+    """
 
     def __init__(
         self,
@@ -102,16 +175,163 @@ class Simulation:
         convergence: Optional[ConvergencePredicate] = None,
         recorders: Optional[Sequence[Recorder]] = None,
         check_every: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
     ) -> None:
         self.protocol = protocol
         self.n = int(n)
         self.seed = rng if isinstance(rng, int) else None
-        engine_kwargs = dict(engine_kwargs or {})
+        self.engine_kwargs = dict(engine_kwargs or {})
         resolved_cls = resolve_engine(engine_cls, protocol, self.n)
-        self.engine: BaseEngine = resolved_cls(protocol, n, rng, **engine_kwargs)
+        self.engine: BaseEngine = resolved_cls(
+            protocol, n, rng, **self.engine_kwargs
+        )
         self.convergence = convergence if convergence is not None else SingleLeader()
         self.recorders: List[Recorder] = list(recorders or [])
         self.check_every = check_every
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ConfigurationError(
+                "checkpoint_every requires a checkpoint_path to write to"
+            )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self._last_checkpoint = self.engine.interactions
+        # When True, run() interprets max_parallel_time as the TOTAL budget
+        # measured from interaction 0 (resume semantics) rather than as
+        # additional interactions from the current position.
+        self._resumed = False
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint_payload(self) -> dict:
+        """Resumable description of this run: engine snapshot + metadata."""
+        engine_cls = type(self.engine)
+        for name, cls in ENGINE_REGISTRY.items():
+            if cls is engine_cls:
+                engine_spec = name
+                break
+        else:  # pragma: no cover - custom engine classes
+            engine_spec = f"{engine_cls.__module__}:{engine_cls.__qualname__}"
+        return {
+            "kind": "simulation",
+            "engine_cls": engine_spec,
+            "engine_kwargs": dict(self.engine_kwargs),
+            "engine_snapshot": self.engine.snapshot(),
+            "protocol": self.protocol.name,
+            # Full content identity: protocols share their class-level name
+            # across parameterisations (every GSULeaderElection is
+            # "gsu19-leader-election"), so resume validation must compare
+            # parameters too — continuing a run under different transition
+            # rules would silently produce a trajectory that is neither the
+            # original nor a valid fresh one.
+            "protocol_fingerprint": self.protocol.fingerprint(),
+            "n": self.n,
+            "seed": self.seed,
+            "check_every": self.check_every,
+        }
+
+    def write_checkpoint(self) -> Path:
+        """Atomically write the current checkpoint to ``checkpoint_path``."""
+        if self.checkpoint_path is None:
+            raise ConfigurationError("this simulation has no checkpoint_path")
+        # Lazy import: the experiments package imports this module at load
+        # time, so a top-level import here would be circular.
+        from repro.experiments.io import write_checkpoint
+
+        path = write_checkpoint(self.checkpoint_payload(), self.checkpoint_path)
+        self._last_checkpoint = self.engine.interactions
+        return path
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        protocol: PopulationProtocol,
+        checkpoint: Union[dict, str, Path],
+        *,
+        convergence: Optional[ConvergencePredicate] = None,
+        recorders: Optional[Sequence[Recorder]] = None,
+        check_every: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        engine_kwargs: Optional[dict] = None,
+    ) -> "Simulation":
+        """Rebuild a simulation from a checkpoint and resume bit-exactly.
+
+        ``checkpoint`` is either a path to a file written by
+        :meth:`write_checkpoint` (through
+        :func:`repro.experiments.io.write_checkpoint`) or the payload
+        dictionary itself.  ``protocol`` must be a (typically fresh)
+        instance of the same protocol the checkpoint was taken from; the
+        engine class, its constructor keywords, the seed bookkeeping and
+        the check period are recovered from the checkpoint, and the engine
+        state — configuration, interaction counter, RNG position, state
+        layout — from the embedded snapshot.  Convergence predicates and
+        recorders are *not* checkpointed: pass fresh ones (stateful
+        predicates such as ``StableOutputs`` restart their streak).
+
+        The returned simulation is marked as resumed: ``run`` interprets
+        ``max_parallel_time`` as the total budget from interaction 0, so
+        passing the original budget makes the resumed run stop exactly
+        where the uninterrupted run would have.
+        """
+        if not isinstance(checkpoint, dict):
+            from repro.experiments.io import read_checkpoint
+
+            checkpoint = read_checkpoint(checkpoint)
+        if checkpoint.get("kind") != "simulation":
+            raise CheckpointError(
+                f"checkpoint kind {checkpoint.get('kind')!r} is not a "
+                "simulation checkpoint"
+            )
+        if checkpoint.get("protocol") != protocol.name:
+            raise CheckpointError(
+                f"checkpoint was taken from protocol "
+                f"{checkpoint.get('protocol')!r}, cannot resume with "
+                f"{protocol.name!r}"
+            )
+        recorded = checkpoint.get("protocol_fingerprint")
+        if recorded is not None and recorded != protocol.fingerprint():
+            raise CheckpointError(
+                f"checkpoint was taken from a {protocol.name!r} instance "
+                f"with different parameters (recorded fingerprint "
+                f"{recorded!r} != {protocol.fingerprint()!r}); resuming "
+                "under different transition rules would corrupt the "
+                "trajectory — reconstruct the protocol with the original "
+                "parameters"
+            )
+        spec = checkpoint["engine_cls"]
+        if spec in ENGINE_REGISTRY:
+            engine_cls = ENGINE_REGISTRY[spec]
+        else:  # pragma: no cover - custom engine classes
+            import importlib
+
+            module_name, _, qualname = spec.partition(":")
+            engine_cls = getattr(importlib.import_module(module_name), qualname)
+        if engine_kwargs is None:
+            engine_kwargs = checkpoint.get("engine_kwargs") or {}
+        simulation = cls(
+            protocol,
+            int(checkpoint["n"]),
+            rng=checkpoint.get("seed"),
+            engine_cls=engine_cls,
+            engine_kwargs=engine_kwargs,
+            convergence=convergence,
+            recorders=recorders,
+            check_every=(
+                check_every if check_every is not None else checkpoint.get("check_every")
+            ),
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
+        simulation.engine.restore(checkpoint["engine_snapshot"])
+        simulation._last_checkpoint = simulation.engine.interactions
+        simulation._resumed = True
+        return simulation
 
     # ------------------------------------------------------------------
     def add_recorder(self, recorder: Recorder) -> Recorder:
@@ -122,6 +342,15 @@ class Simulation:
     def _notify_recorders(self, engine: BaseEngine) -> None:
         for recorder in self.recorders:
             recorder.record(engine)
+
+    def _on_check(self, engine: BaseEngine) -> None:
+        """Per-check-point hook: recorders first, then due checkpoints."""
+        self._notify_recorders(engine)
+        if (
+            self.checkpoint_every is not None
+            and engine.interactions - self._last_checkpoint >= self.checkpoint_every
+        ):
+            self.write_checkpoint()
 
     # ------------------------------------------------------------------
     def run(
@@ -135,7 +364,11 @@ class Simulation:
         Parameters
         ----------
         max_parallel_time:
-            Interaction budget expressed in parallel-time units.
+            Interaction budget expressed in parallel-time units.  For a
+            simulation built by :meth:`from_checkpoint` this is the *total*
+            run budget measured from interaction 0 (a resumed run given the
+            original budget finishes the original run); otherwise it counts
+            from the engine's current position.
         raise_on_budget:
             When ``True`` a :class:`~repro.errors.ConvergenceError` is raised
             if the budget runs out; otherwise a non-converged
@@ -147,12 +380,15 @@ class Simulation:
             )
         self.convergence.reset()
         budget = int(round(max_parallel_time * self.n))
+        if self._resumed:
+            budget = max(0, budget - self.engine.interactions)
+        use_hook = bool(self.recorders) or self.checkpoint_every is not None
         started = _time.perf_counter()
         converged = self.engine.run_until(
             self.convergence,
             max_interactions=budget,
             check_every=self.check_every,
-            on_check=self._notify_recorders if self.recorders else None,
+            on_check=self._on_check if use_hook else None,
         )
         elapsed = _time.perf_counter() - started
         if not converged and raise_on_budget:
@@ -192,35 +428,106 @@ def run_protocol(
     engine_kwargs: Optional[dict] = None,
     check_every: Optional[int] = None,
     raise_on_budget: bool = False,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> RunResult:
     """Run ``protocol`` on ``n`` agents and return the :class:`RunResult`.
 
-    ``engine_cls`` accepts an engine class, a registry name (``"sequential"``,
-    ``"count"``, ``"countbatch"``, ``"fastbatch"``, ``"batch"``) or
-    ``"auto"`` to dispatch on ``(protocol, n)`` — see
-    :mod:`repro.engine.dispatch`.  For ``n >= 10^7`` population sizes use
-    ``"countbatch"`` (or ``"auto"``): it is exact in distribution, needs
-    ``O(k)`` memory, and beats the C kernel's throughput there.
+    This is the main one-call entry point of the simulation substrate:
 
-    This is the main one-call entry point of the simulation substrate::
+    >>> from repro.protocols.slow import SlowLeaderElection
+    >>> result = run_protocol(SlowLeaderElection(), 16, seed=1,
+    ...                       max_parallel_time=500.0)
+    >>> result.converged
+    True
+    >>> result.leader_count
+    1
+    >>> result.n, result.seed
+    (16, 1)
 
-        from repro.core import GSULeaderElection
-        from repro.engine import run_protocol
-
-        result = run_protocol(GSULeaderElection.for_population(1 << 10), 1 << 10,
-                              seed=1, max_parallel_time=2000)
-        assert result.leader_count == 1
+    Parameters
+    ----------
+    protocol:
+        The protocol to simulate.
+    n:
+        Population size.
+    seed:
+        Seed or generator; equal seeds give identical runs.
+    max_parallel_time:
+        Interaction budget in parallel-time units (interactions / ``n``).
+        For a resumed run this is the *total* budget measured from
+        interaction 0.
+    convergence:
+        Convergence predicate; defaults to "exactly one leader".
+    recorders:
+        Observers invoked at every convergence check point.
+    engine_cls:
+        An engine class, a registry name (``"sequential"``, ``"count"``,
+        ``"countbatch"``, ``"fastbatch"``, ``"batch"``) or ``"auto"`` to
+        dispatch on ``(protocol, n)`` — see :mod:`repro.engine.dispatch`.
+        For ``n >= 10^7`` population sizes use ``"countbatch"`` (or
+        ``"auto"``): it is exact in distribution, needs ``O(k)`` memory,
+        and beats the C kernel's throughput there.
+    engine_kwargs:
+        Extra engine-constructor keywords (e.g. ``{"kernel": "numpy"}``).
+    check_every:
+        Convergence-check period in interactions (default: ``n``).
+    raise_on_budget:
+        Raise :class:`~repro.errors.ConvergenceError` instead of returning
+        a non-converged result.
+    checkpoint_every:
+        Write a resumable checkpoint to ``checkpoint_path`` at every check
+        point at least this many interactions after the previous one
+        (atomic write-replace; see the module docstring for the full
+        interrupt-and-resume recipe).
+    checkpoint_path:
+        Checkpoint file location; with ``resume=True`` also the file to
+        resume from.
+    resume:
+        When ``True`` and ``checkpoint_path`` exists, restore the engine
+        from it bit-exactly (``engine_cls`` and ``seed`` are then taken
+        from the checkpoint) and continue until the total budget.  When the
+        file does not exist the run simply starts from scratch, so the same
+        command line works for both the first attempt and every retry.
     """
-    simulation = Simulation(
-        protocol,
-        n,
-        rng=seed,
-        engine_cls=engine_cls,
-        engine_kwargs=engine_kwargs,
-        convergence=convergence,
-        recorders=recorders,
-        check_every=check_every,
-    )
+    if resume and checkpoint_path is not None and Path(checkpoint_path).exists():
+        from repro.experiments.io import read_checkpoint
+
+        payload = read_checkpoint(checkpoint_path)
+        # The caller's n is authoritative for what they *meant* to run; a
+        # checkpoint for a different population size must not be resumed
+        # silently at its old size.
+        if int(payload.get("n", -1)) != int(n):
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path} was taken at population size "
+                f"{payload.get('n')}, but this run asked for n={n}; delete "
+                "the checkpoint (or point checkpoint_path elsewhere) to "
+                "start a fresh run at the new size"
+            )
+        simulation = Simulation.from_checkpoint(
+            protocol,
+            payload,
+            convergence=convergence,
+            recorders=recorders,
+            check_every=check_every,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            engine_kwargs=engine_kwargs,
+        )
+    else:
+        simulation = Simulation(
+            protocol,
+            n,
+            rng=seed,
+            engine_cls=engine_cls,
+            engine_kwargs=engine_kwargs,
+            convergence=convergence,
+            recorders=recorders,
+            check_every=check_every,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
     return simulation.run(
         max_parallel_time=max_parallel_time, raise_on_budget=raise_on_budget
     )

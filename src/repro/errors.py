@@ -15,6 +15,7 @@ __all__ = [
     "TransitionError",
     "SimulationError",
     "ConvergenceError",
+    "CheckpointError",
     "ExperimentError",
 ]
 
@@ -66,6 +67,16 @@ class ConvergenceError(SimulationError):
             text = f"{text}: {message}"
         super().__init__(text)
         self.interactions = interactions
+
+
+class CheckpointError(SimulationError):
+    """A snapshot could not be restored or a checkpoint file is unusable.
+
+    Raised when a snapshot targets a different engine class, protocol or
+    population size than the one it is being restored into, when the
+    registered state-identifier layout cannot be reproduced, or when a
+    checkpoint file has an unknown format or version.
+    """
 
 
 class ExperimentError(ReproError):

@@ -25,14 +25,22 @@ experiment id             reproduces
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, ExperimentTable
-from repro.experiments.registry import available_experiments, get_experiment, run_experiment
+from repro.experiments.registry import (
+    available_experiments,
+    experiment_key,
+    get_experiment,
+    run_experiment,
+)
+from repro.experiments.store import ExperimentStore
 from repro.experiments import io as experiment_io
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
+    "ExperimentStore",
     "ExperimentTable",
     "available_experiments",
+    "experiment_key",
     "get_experiment",
     "run_experiment",
     "experiment_io",

@@ -15,6 +15,12 @@ the common uses:
   on ``engine="auto"``: fast-batch C kernel at ``10^7``, the O(k)-memory
   configuration-space engine at ``10^8`` (hours-to-days of wall clock; one
   seed per size).
+
+The configuration is a frozen dataclass on purpose: the experiment store
+(:mod:`repro.experiments.store`) hashes ``dataclasses.asdict(config)``
+together with the experiment identifier into the record key for CLI-level
+``--store``/``--resume``, so every field change — sizes, repetitions,
+budget, seed, engine — keys a distinct stored record.
 """
 
 from __future__ import annotations

@@ -1,25 +1,98 @@
-"""Persistence of experiment results (CSV, JSON, markdown).
+"""Persistence: experiment results (CSV, JSON, markdown) and run checkpoints.
 
-The CLI writes every experiment's tables to an output directory so results
-can be versioned and diffed; ``EXPERIMENTS.md`` embeds the markdown
-rendering of the default-configuration runs.
+Two kinds of artefact are written here:
+
+* **Experiment results** — the CLI writes every experiment's tables to an
+  output directory so results can be versioned and diffed;
+  ``EXPERIMENTS.md`` embeds the markdown rendering of the
+  default-configuration runs.  :func:`read_result_json` round-trips the JSON
+  form back into an :class:`~repro.experiments.runner.ExperimentResult`,
+  which is what the on-disk experiment store
+  (:mod:`repro.experiments.store`) builds on.
+* **Run checkpoints** — :func:`write_checkpoint` / :func:`read_checkpoint`
+  persist engine snapshots (:meth:`repro.engine.base.BaseEngine.snapshot`)
+  in a versioned envelope.  Checkpoints are written **atomically**
+  (temp file in the target directory, then ``os.replace``), so a crash
+  mid-write can never leave a truncated checkpoint behind — the previous
+  complete checkpoint simply survives.  Snapshots contain arbitrary
+  protocol state objects, so the payload is pickled; checkpoints are a
+  *resume* format for your own runs, not an interchange format.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
+import pickle
+import tempfile
 from pathlib import Path
 from typing import Union
 
-from repro.errors import ExperimentError
+from repro.errors import CheckpointError, ExperimentError
 from repro.experiments.runner import ExperimentResult, ExperimentTable
 
-__all__ = ["write_table_csv", "write_result_json", "write_result_markdown", "write_result"]
+__all__ = [
+    "write_table_csv",
+    "write_result_json",
+    "read_result_json",
+    "result_to_jsonable",
+    "result_from_jsonable",
+    "write_result_markdown",
+    "write_result",
+    "write_checkpoint",
+    "read_checkpoint",
+    "atomic_write_text",
+    "jsonable",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+]
 
 PathLike = Union[str, Path]
 
+#: Identifies a repro checkpoint file (first key of the pickled envelope).
+CHECKPOINT_MAGIC = "repro-checkpoint"
+#: Envelope version; bump on incompatible layout changes.  The engine
+#: snapshot inside carries its own version
+#: (:data:`repro.engine.base.SNAPSHOT_VERSION`).
+CHECKPOINT_VERSION = 1
 
+
+# ----------------------------------------------------------------------
+# Atomic write helpers
+# ----------------------------------------------------------------------
+def _atomic_write_bytes(path: Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` through a same-directory temp file.
+
+    ``os.replace`` is atomic on POSIX and Windows when source and target
+    share a filesystem, which the same-directory temp file guarantees;
+    readers therefore only ever observe complete files.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        dir=path.parent, prefix=f".{path.name}.", delete=False
+    )
+    try:
+        with handle:
+            handle.write(data)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomically write ``text`` to ``path`` (write-replace, never truncate)."""
+    return _atomic_write_bytes(Path(path), text.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Experiment results
+# ----------------------------------------------------------------------
 def write_table_csv(table: ExperimentTable, path: PathLike) -> Path:
     """Write one table as CSV."""
     path = Path(path)
@@ -32,34 +105,63 @@ def write_table_csv(table: ExperimentTable, path: PathLike) -> Path:
     return path
 
 
-def write_result_json(result: ExperimentResult, path: PathLike) -> Path:
-    """Write a full experiment result as JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
+def result_to_jsonable(result: ExperimentResult) -> dict:
+    """Plain-data (JSON-serialisable) form of an experiment result."""
+    return {
         "experiment": result.experiment,
         "description": result.description,
-        "metadata": {key: _jsonable(value) for key, value in result.metadata.items()},
+        "metadata": {key: jsonable(value) for key, value in result.metadata.items()},
         "wall_clock_seconds": result.wall_clock_seconds,
         "tables": [
             {
                 "name": table.name,
                 "headers": table.headers,
-                "rows": [[_jsonable(cell) for cell in row] for row in table.rows],
+                "rows": [[jsonable(cell) for cell in row] for row in table.rows],
             }
             for table in result.tables
         ],
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+
+
+def result_from_jsonable(payload: dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_jsonable`.
+
+    Cell values come back as whatever JSON preserved (numbers, strings,
+    booleans); values that were stringified on the way out stay strings.
+    """
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        description=payload["description"],
+        tables=[
+            ExperimentTable(
+                name=table["name"],
+                headers=list(table["headers"]),
+                rows=[list(row) for row in table["rows"]],
+            )
+            for table in payload.get("tables", [])
+        ],
+        metadata=dict(payload.get("metadata", {})),
+        wall_clock_seconds=float(payload.get("wall_clock_seconds", 0.0)),
+    )
+
+
+def write_result_json(result: ExperimentResult, path: PathLike) -> Path:
+    """Write a full experiment result as JSON (atomically)."""
+    path = Path(path)
+    return atomic_write_text(
+        path, json.dumps(result_to_jsonable(result), indent=2, sort_keys=True)
+    )
+
+
+def read_result_json(path: PathLike) -> ExperimentResult:
+    """Read an experiment result previously written by :func:`write_result_json`."""
+    payload = json.loads(Path(path).read_text())
+    return result_from_jsonable(payload)
 
 
 def write_result_markdown(result: ExperimentResult, path: PathLike) -> Path:
-    """Write a full experiment result as markdown."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(result.to_markdown())
-    return path
+    """Write a full experiment result as markdown (atomically)."""
+    return atomic_write_text(Path(path), result.to_markdown())
 
 
 def write_result(result: ExperimentResult, directory: PathLike) -> Path:
@@ -77,11 +179,62 @@ def write_result(result: ExperimentResult, directory: PathLike) -> Path:
     return directory
 
 
-def _jsonable(value):
-    if isinstance(value, (str, int, float, bool)) or value is None:
-        return value
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(item) for item in value]
-    if isinstance(value, dict):
-        return {str(key): _jsonable(item) for key, item in value.items()}
-    return str(value)
+# ----------------------------------------------------------------------
+# Run checkpoints
+# ----------------------------------------------------------------------
+def write_checkpoint(payload: dict, path: PathLike) -> Path:
+    """Atomically persist a checkpoint payload to ``path``.
+
+    ``payload`` is typically the dictionary built by
+    :meth:`repro.engine.simulation.Simulation.write_checkpoint` (an engine
+    snapshot plus run metadata), but any picklable dictionary is accepted.
+    The on-disk form is a versioned pickled envelope; a crash mid-write
+    leaves the previous checkpoint intact (write-replace).
+    """
+    envelope = {
+        "format": CHECKPOINT_MAGIC,
+        "version": CHECKPOINT_VERSION,
+        "payload": payload,
+    }
+    return _atomic_write_bytes(
+        Path(path), pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def read_checkpoint(path: PathLike) -> dict:
+    """Read a checkpoint written by :func:`write_checkpoint`.
+
+    Raises :class:`~repro.errors.CheckpointError` when the file is not a
+    repro checkpoint or carries an unsupported envelope version.
+    """
+    path = Path(path)
+    try:
+        with path.open("rb") as handle:
+            envelope = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"{path} is not a repro checkpoint file")
+    version = envelope.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has envelope version {version!r}; this build "
+            f"supports {CHECKPOINT_VERSION}"
+        )
+    return envelope["payload"]
+
+
+def jsonable(value):
+    """Recursively coerce ``value`` into JSON-serialisable plain data.
+
+    Containers are walked; anything not natively representable falls back
+    to ``str``.  Shared by the result writers and the experiment store's
+    content hashing; the walk itself is :func:`repro.types.plain_data`.
+    """
+    from repro.types import plain_data
+
+    return plain_data(value, fallback=str)
+
+
+# Backwards-compatible private alias (pre-store callers imported _jsonable).
+_jsonable = jsonable

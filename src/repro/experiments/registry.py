@@ -3,11 +3,20 @@
 The CLI, the benchmarks and the documentation all refer to experiments by
 the identifiers in DESIGN.md (``table1``, ``figure1`` …); this module is the
 single source of truth for that mapping.
+
+:func:`run_experiment` optionally consults the on-disk experiment store
+(:mod:`repro.experiments.store`): with ``store=`` every completed
+experiment is persisted under a content hash of ``(experiment name,
+configuration)``, and with ``resume=True`` a rerun loads the stored result
+instead of recomputing it — the CLI surfaces this as ``--store DIR``
+(+ ``--resume``), which makes ``run-all`` restartable after a crash.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, List, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
@@ -24,7 +33,12 @@ from repro.experiments.lemmas import (
 from repro.experiments.runner import ExperimentResult
 from repro.experiments.table1 import run_table1
 
-__all__ = ["available_experiments", "get_experiment", "run_experiment"]
+__all__ = [
+    "available_experiments",
+    "experiment_key",
+    "get_experiment",
+    "run_experiment",
+]
 
 ExperimentRunner = Callable[[ExperimentConfig], ExperimentResult]
 
@@ -56,6 +70,64 @@ def get_experiment(name: str) -> ExperimentRunner:
         ) from None
 
 
-def run_experiment(name: str, config: ExperimentConfig) -> ExperimentResult:
-    """Run one experiment by identifier."""
-    return get_experiment(name)(config)
+def experiment_key(name: str, config: ExperimentConfig) -> str:
+    """Content key of one ``(experiment, configuration)`` combination.
+
+    Hashes the experiment identifier together with every field of the
+    configuration, so changing any sweep knob — sizes, repetitions, budget,
+    seed, engine — keys a different record.
+    """
+    from repro.experiments.store import content_key
+
+    return content_key(
+        {
+            "kind": "experiment",
+            "experiment": name,
+            "config": dataclasses.asdict(config),
+        }
+    )
+
+
+def run_experiment(
+    name: str,
+    config: ExperimentConfig,
+    *,
+    store: Union["ExperimentStore", str, Path, None] = None,  # noqa: F821
+    resume: bool = False,
+) -> ExperimentResult:
+    """Run one experiment by identifier.
+
+    Parameters
+    ----------
+    name:
+        Experiment identifier (see :func:`available_experiments`).
+    config:
+        Sweep configuration.
+    store:
+        Optional on-disk experiment store (directory path or
+        :class:`~repro.experiments.store.ExperimentStore`).  The completed
+        result is persisted under :func:`experiment_key`.
+    resume:
+        With a store, return the stored result when one exists for this
+        exact ``(name, config)`` instead of re-running; loaded results are
+        marked with ``metadata["loaded_from_store"] = True``.
+    """
+    runner = get_experiment(name)
+    if store is None:
+        return runner(config)
+    from repro.experiments.store import ExperimentStore
+
+    store = ExperimentStore.ensure(store)
+    key = experiment_key(name, config)
+    if resume:
+        cached = store.load_experiment(key)
+        if cached is not None:
+            cached.metadata["loaded_from_store"] = True
+            return cached
+    result = runner(config)
+    store.save_experiment(
+        key,
+        result,
+        inputs={"experiment": name, "config": dataclasses.asdict(config)},
+    )
+    return result

@@ -121,30 +121,62 @@ def run_cell(
     recorder_factory: Optional[Callable[[], Sequence[Recorder]]] = None,
     check_every: Optional[int] = None,
     engine: EngineSpec = None,
+    store=None,
 ) -> List[tuple]:
     """Run one experiment cell (fixed protocol and ``n``, several seeds).
 
     ``engine`` is an engine specification (name, ``"auto"`` or class);
     ``None`` keeps the sequential default.
 
+    ``store`` (a directory path or
+    :class:`~repro.experiments.store.ExperimentStore`) makes the cell
+    resumable: completed per-seed runs are loaded from disk instead of
+    re-executed.  The store only applies to *recorder-free* cells —
+    recorder time series are in-memory observations of a live engine and
+    are not persisted, so cells with a ``recorder_factory`` always run.
+
     Returns a list of ``(RunResult, recorders)`` pairs, where ``recorders``
     is the (possibly empty) list produced by ``recorder_factory`` for that
     run — experiments read their time series from these.
     """
+    from repro.experiments.store import ExperimentStore, content_key
+
+    store = ExperimentStore.ensure(store) if recorder_factory is None else None
     outcomes = []
     for seed in seeds:
         protocol = protocol_factory(n)
+        convergence = convergence_for(protocol)
+        key = inputs = None
+        if store is not None:
+            inputs = store.cell_inputs(
+                protocol,
+                n,
+                seed,
+                engine=engine,
+                convergence=(
+                    convergence.description if convergence is not None else None
+                ),
+                max_parallel_time=max_parallel_time,
+                extra={"check_every": check_every} if check_every else None,
+            )
+            key = content_key(inputs)
+            cached = store.load_result(key)
+            if cached is not None:
+                outcomes.append((cached, []))
+                continue
         recorders = list(recorder_factory()) if recorder_factory is not None else []
         result = run_protocol(
             protocol,
             n,
             seed=seed,
             max_parallel_time=max_parallel_time,
-            convergence=convergence_for(protocol),
+            convergence=convergence,
             recorders=recorders,
             check_every=check_every,
             engine_cls=engine,
         )
+        if store is not None:
+            store.save_result(key, result, inputs)
         outcomes.append((result, recorders))
     return outcomes
 
@@ -159,8 +191,15 @@ def sweep(
     recorder_factory: Optional[Callable[[], Sequence[Recorder]]] = None,
     check_every: Optional[int] = None,
     engine: EngineSpec = None,
+    store=None,
 ) -> Dict[int, List[tuple]]:
-    """Run a full (sizes × seeds) sweep; returns ``{n: [(result, recorders)]}``."""
+    """Run a full (sizes × seeds) sweep; returns ``{n: [(result, recorders)]}``.
+
+    ``store`` is forwarded to :func:`run_cell` (cell-level resumability for
+    recorder-free sweeps).  Seeds are spawned prefix-stably from
+    ``base_seed``, so extending ``ns`` or ``repetitions`` keeps the keys —
+    and therefore the stored results — of the smaller sweep valid.
+    """
     ns = [int(n) for n in ns]
     seeds = spawn_seeds(base_seed, len(ns) * repetitions)
     cells: Dict[int, List[tuple]] = {}
@@ -176,6 +215,7 @@ def sweep(
             recorder_factory=recorder_factory,
             check_every=check_every,
             engine=engine,
+            store=store,
         )
     return cells
 

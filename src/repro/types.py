@@ -9,11 +9,12 @@ quickly and encode compactly.
 from __future__ import annotations
 
 import enum
-from typing import Hashable, Tuple, TypeVar
+from typing import Callable, Hashable, Tuple, TypeVar
 
 __all__ = [
     "State",
     "TransitionResult",
+    "plain_data",
     "Role",
     "LeaderMode",
     "CoinMode",
@@ -29,6 +30,26 @@ State = Hashable
 TransitionResult = Tuple[State, State]
 
 T = TypeVar("T")
+
+
+def plain_data(value, fallback: Callable[[object], object] = str):
+    """Recursively coerce ``value`` into JSON-serialisable plain data.
+
+    Scalars pass through, lists/tuples and dicts are walked, and anything
+    else goes through ``fallback`` (``str`` by default).  This is the one
+    shared walk behind both result serialisation
+    (:func:`repro.experiments.io.jsonable`) and protocol fingerprinting
+    (:meth:`repro.engine.protocol.PopulationProtocol.fingerprint`, which
+    supplies an address-stripping fallback) — the experiment store hashes
+    through both paths, so they must never drift apart.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [plain_data(item, fallback) for item in value]
+    if isinstance(value, dict):
+        return {str(key): plain_data(item, fallback) for key, item in value.items()}
+    return fallback(value)
 
 
 class Role(enum.IntEnum):

@@ -1,0 +1,312 @@
+"""Checkpoint/resume: bit-exact snapshot/restore across every engine.
+
+The acceptance property of the run-persistence subsystem: a run interrupted
+at any driver boundary and resumed from a snapshot produces a trajectory
+digest **byte-for-byte identical** to the uninterrupted run's *pinned*
+digest (the pins from ``test_engine_trajectory_digests``).  The interrupted
+digest is computed with the snapshot round-tripped through the on-disk
+checkpoint format and restored into an engine built on a **fresh protocol
+instance**, i.e. exactly the crashed-process-restarts scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from test_engine_trajectory_digests import _CHUNKS, ENGINES, EXPECTED, PROTOCOLS
+
+from repro.engine.count_engine import CountEngine
+from repro.engine.engine import SequentialEngine
+from repro.engine.scheduler import PairSampler
+from repro.errors import CheckpointError
+from repro.experiments.io import read_checkpoint, write_checkpoint
+from repro.protocols.epidemic import OneWayEpidemic
+from repro.protocols.slow import SlowLeaderElection
+
+#: The (protocol, engine) grid: every engine family of the acceptance
+#: criterion — sequential, fastbatch (C when available), fastbatch-numpy,
+#: countbatch, count — against a lazily discovering protocol (gsu19, where
+#: mid-run state discovery makes the encoder layout part of the snapshot)
+#: and an eagerly registered one (epidemic).
+_PROTOCOL_NAMES = ("epidemic", "gsu19")
+_ENGINE_NAMES = ("sequential", "fastbatch", "fastbatch-numpy", "count", "countbatch")
+
+
+def _digest_update(digest, engine) -> None:
+    counts = sorted((repr(s), c) for s, c in engine.state_counts().items())
+    digest.update(
+        repr((engine.interactions, counts, engine.states_ever_occupied)).encode()
+    )
+
+
+@pytest.mark.parametrize("engine_name", _ENGINE_NAMES)
+@pytest.mark.parametrize("protocol_name", _PROTOCOL_NAMES)
+@pytest.mark.parametrize("interrupt_after", [1, 2])
+def test_interrupted_run_matches_pinned_digest(
+    tmp_path, protocol_name, engine_name, interrupt_after
+):
+    """snapshot → file → restore mid-run reproduces the pinned digest."""
+    protocol_factory, n = PROTOCOLS[protocol_name]
+    engine_factory = ENGINES[engine_name]
+    seed = 20190622
+
+    digest = hashlib.sha256()
+    engine = engine_factory(protocol_factory(), n, rng=seed)
+    for _ in range(interrupt_after):
+        engine.run(2 * n + 3)
+        _digest_update(digest, engine)
+
+    # Crash: persist the snapshot, forget everything, restart from disk on
+    # a freshly constructed protocol (fresh transition table, fresh caches).
+    path = tmp_path / "run.ckpt"
+    write_checkpoint(engine.snapshot(), path)
+    del engine
+
+    snapshot = read_checkpoint(path)
+    resumed = engine_factory(protocol_factory(), n, rng=0xDEAD)  # rng is overwritten
+    resumed.restore(snapshot)
+    for _ in range(_CHUNKS - interrupt_after):
+        resumed.run(2 * n + 3)
+        _digest_update(digest, resumed)
+
+    assert digest.hexdigest() == EXPECTED[f"{protocol_name}/{engine_name}"], (
+        f"{engine_name} on {protocol_name}: resume after chunk "
+        f"{interrupt_after} diverged from the uninterrupted pinned trajectory"
+    )
+
+
+def test_from_snapshot_classmethod_is_equivalent():
+    protocol_factory, n = PROTOCOLS["epidemic"]
+    engine = SequentialEngine(protocol_factory(), n, rng=11)
+    engine.run(2 * n)
+    resumed = SequentialEngine.from_snapshot(protocol_factory(), engine.snapshot())
+    engine.run(2 * n)
+    resumed.run(2 * n)
+    assert resumed.interactions == engine.interactions
+    assert resumed.state_counts() == engine.state_counts()
+    assert resumed.states_ever_occupied == engine.states_ever_occupied
+
+
+# ----------------------------------------------------------------------
+# Component-level snapshots
+# ----------------------------------------------------------------------
+def test_pair_sampler_snapshot_resumes_mid_buffer():
+    """The unconsumed tail of a pre-drawn pair block survives a snapshot."""
+    sampler = PairSampler(64, rng=5, block=32)
+    drawn = [sampler.next_pair() for _ in range(17)]  # mid-buffer
+    assert drawn
+    snapshot = sampler.state_snapshot()
+    expected = [sampler.next_pair() for _ in range(40)]  # crosses a refill
+
+    restored = PairSampler(64, rng=999, block=32)
+    restored.state_restore(snapshot)
+    assert [restored.next_pair() for _ in range(40)] == expected
+
+
+def test_pair_sampler_snapshot_rejects_population_mismatch():
+    sampler = PairSampler(64, rng=5)
+    snapshot = sampler.state_snapshot()
+    other = PairSampler(128, rng=5)
+    with pytest.raises(CheckpointError):
+        other.state_restore(snapshot)
+
+
+def test_count_engine_snapshot_preserves_pending_uniforms():
+    """Chunk sizes that leave uniforms unconsumed must restore bit-exactly."""
+    protocol = SlowLeaderElection()
+    n = 64
+    engine = CountEngine(protocol, n, rng=3)
+    engine.run(37)  # far from the 2^14 uniform block boundary
+    snapshot = engine.snapshot()
+    engine.run(200)
+
+    resumed = CountEngine(SlowLeaderElection(), n, rng=77)
+    resumed.restore(snapshot)
+    resumed.run(200)
+    assert resumed.state_counts() == engine.state_counts()
+    assert resumed.interactions == engine.interactions
+
+
+# ----------------------------------------------------------------------
+# Restore validation
+# ----------------------------------------------------------------------
+def test_restore_rejects_engine_mismatch():
+    protocol_factory, n = PROTOCOLS["epidemic"]
+    snapshot = SequentialEngine(protocol_factory(), n, rng=1).snapshot()
+    other = CountEngine(protocol_factory(), n, rng=1)
+    with pytest.raises(CheckpointError, match="SequentialEngine"):
+        other.restore(snapshot)
+
+
+def test_restore_rejects_population_mismatch():
+    protocol_factory, n = PROTOCOLS["epidemic"]
+    snapshot = SequentialEngine(protocol_factory(), n, rng=1).snapshot()
+    other = SequentialEngine(protocol_factory(), n * 2, rng=1)
+    with pytest.raises(CheckpointError, match="population size"):
+        other.restore(snapshot)
+
+
+def test_restore_rejects_protocol_mismatch():
+    snapshot = SequentialEngine(OneWayEpidemic(), 32, rng=1).snapshot()
+    other = SequentialEngine(SlowLeaderElection(), 32, rng=1)
+    with pytest.raises(CheckpointError, match="protocol"):
+        other.restore(snapshot)
+
+
+def test_restore_rejects_unknown_version():
+    protocol_factory, n = PROTOCOLS["epidemic"]
+    engine = SequentialEngine(protocol_factory(), n, rng=1)
+    snapshot = engine.snapshot()
+    snapshot["version"] = 999
+    with pytest.raises(CheckpointError, match="version"):
+        SequentialEngine(protocol_factory(), n, rng=1).restore(snapshot)
+
+
+def test_checkpoint_file_round_trip_and_validation(tmp_path):
+    payload = {"hello": [1, 2, 3]}
+    path = tmp_path / "x.ckpt"
+    write_checkpoint(payload, path)
+    assert read_checkpoint(path) == payload
+
+    junk = tmp_path / "junk.ckpt"
+    junk.write_bytes(b"not a checkpoint")
+    with pytest.raises(CheckpointError):
+        read_checkpoint(junk)
+    with pytest.raises(CheckpointError):
+        read_checkpoint(tmp_path / "missing.ckpt")
+
+
+# ----------------------------------------------------------------------
+# Simulation-level checkpoint / resume
+# ----------------------------------------------------------------------
+def test_run_protocol_resume_reproduces_uninterrupted_run(tmp_path):
+    """Crash at half budget + resume == one uninterrupted run, exactly."""
+    from repro.engine.simulation import run_protocol
+
+    n, total = 64, 16.0
+    path = tmp_path / "epidemic.ckpt"
+
+    full = run_protocol(OneWayEpidemic(), n, seed=9, max_parallel_time=total)
+    interrupted = run_protocol(
+        OneWayEpidemic(),
+        n,
+        seed=9,
+        max_parallel_time=total / 2,
+        checkpoint_every=n,
+        checkpoint_path=path,
+    )
+    assert path.exists()
+    assert interrupted.interactions == total / 2 * n
+
+    resumed = run_protocol(
+        OneWayEpidemic(),
+        n,
+        seed=9,
+        max_parallel_time=total,  # total budget, not additional
+        checkpoint_path=path,
+        resume=True,
+    )
+    assert resumed.interactions == full.interactions
+    assert resumed.final_counts == full.final_counts
+    assert resumed.final_outputs == full.final_outputs
+    assert resumed.states_used == full.states_used
+
+
+def test_run_protocol_resume_without_file_starts_fresh(tmp_path):
+    """The same resume command line works for the very first attempt."""
+    from repro.engine.simulation import run_protocol
+
+    path = tmp_path / "never-written.ckpt"
+    result = run_protocol(
+        OneWayEpidemic(), 32, seed=2, max_parallel_time=4.0,
+        checkpoint_path=path, resume=True,
+    )
+    assert result.interactions == 4 * 32
+
+
+def test_run_protocol_resume_preserves_auto_engine_choice(tmp_path):
+    """The checkpoint records the resolved engine; resume honours it."""
+    from repro.engine.dispatch import resolve_engine
+    from repro.engine.simulation import Simulation
+
+    n = 64
+    simulation = Simulation(
+        OneWayEpidemic(),
+        n,
+        rng=4,
+        engine_cls="count",
+        checkpoint_every=n,
+        checkpoint_path=tmp_path / "c.ckpt",
+    )
+    simulation.run(max_parallel_time=4.0)
+    resumed = Simulation.from_checkpoint(OneWayEpidemic(), tmp_path / "c.ckpt")
+    assert type(resumed.engine) is resolve_engine("count")
+    assert resumed.engine.interactions == simulation.engine.interactions
+
+
+def test_resume_rejects_different_protocol_parameters(tmp_path):
+    """Same protocol *name*, different parameters: resuming would continue
+    the old configuration under different transition rules — refused."""
+    from repro.core.protocol import GSULeaderElection
+    from repro.engine.simulation import Simulation
+
+    path = tmp_path / "gsu.ckpt"
+    simulation = Simulation(
+        GSULeaderElection.for_population(256),
+        256,
+        rng=1,
+        checkpoint_every=256,
+        checkpoint_path=path,
+    )
+    simulation.run(max_parallel_time=4.0)
+    with pytest.raises(CheckpointError, match="different parameters"):
+        Simulation.from_checkpoint(GSULeaderElection.for_population(10**6), path)
+    # The original parameterisation resumes fine.
+    resumed = Simulation.from_checkpoint(GSULeaderElection.for_population(256), path)
+    assert resumed.engine.interactions == simulation.engine.interactions
+
+
+def test_resume_rejects_population_size_mismatch(tmp_path):
+    """run_protocol(resume=True) must not silently ignore the caller's n."""
+    from repro.engine.simulation import run_protocol
+
+    path = tmp_path / "n.ckpt"
+    run_protocol(
+        OneWayEpidemic(), 64, seed=1, max_parallel_time=2.0,
+        checkpoint_every=64, checkpoint_path=path,
+    )
+    with pytest.raises(CheckpointError, match="population size"):
+        run_protocol(
+            OneWayEpidemic(), 128, seed=1, max_parallel_time=4.0,
+            checkpoint_path=path, resume=True,
+        )
+
+
+def test_simulation_checkpoint_requires_path():
+    from repro.engine.simulation import Simulation
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        Simulation(OneWayEpidemic(), 32, checkpoint_every=32)
+
+
+def test_batch_engine_snapshot_round_trip():
+    """The approximate engine shares the snapshot API (ablation runs can be
+    checkpointed too)."""
+    import warnings
+
+    from repro.engine.batch_engine import BatchEngine
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FutureWarning)
+        engine = BatchEngine(SlowLeaderElection(), 128, rng=6)
+        engine.run(512)
+        snapshot = engine.snapshot()
+        engine.run(512)
+        resumed = BatchEngine(SlowLeaderElection(), 128, rng=1)
+    resumed.restore(snapshot)
+    resumed.run(512)
+    assert resumed.interactions == engine.interactions
+    assert resumed.state_counts() == engine.state_counts()

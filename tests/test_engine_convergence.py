@@ -1,4 +1,11 @@
-"""Tests for convergence predicates."""
+"""Tests for convergence predicates.
+
+Predicates are exercised on the per-agent reference engine *and* on the
+count-space engines (``CountEngine``, ``CountBatchEngine``): every predicate
+reads the configuration exclusively through the ``BaseEngine`` inspection
+API (``state_count_items`` / ``counts_by_output``), so it must behave
+identically whichever population representation is underneath.
+"""
 
 from __future__ import annotations
 
@@ -11,9 +18,15 @@ from repro.engine.convergence import (
     SingleLeader,
     StableOutputs,
 )
+from repro.engine.count_batch import CountBatchEngine
+from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.protocols.epidemic import OneWayEpidemic
 from repro.protocols.slow import SlowLeaderElection
+
+#: The configuration-space engines (exercised against every predicate below;
+#: the per-agent engines were already covered by the original suite).
+COUNT_ENGINES = [CountEngine, CountBatchEngine]
 
 
 @pytest.fixture
@@ -97,3 +110,65 @@ def test_predicates_have_descriptions():
         OutputCountCondition(lambda c: True),
     ):
         assert isinstance(predicate.description, str) and predicate.description
+
+
+# ----------------------------------------------------------------------
+# Count-space engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_single_leader_on_count_engines(engine_cls):
+    engine = engine_cls(SlowLeaderElection(), 64, rng=0)
+    predicate = SingleLeader()
+    assert predicate(engine) is False  # everyone starts as a leader
+    converged = engine.run_until(predicate, max_interactions=2_000_000)
+    assert converged is True
+    assert engine.counts_by_output().get("L") == 1
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_all_agents_satisfy_on_count_engines(engine_cls):
+    engine = engine_cls(OneWayEpidemic(sources=1), 64, rng=1)
+    informed = AllAgentsSatisfy(lambda state: state == "informed", "all informed")
+    assert informed(engine) is False
+    engine.run_parallel_time(60)
+    assert informed(engine) is True
+    # Sanity: the count representation agrees with the predicate.
+    assert engine.count_of("susceptible") == 0
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_output_count_condition_on_count_engines(engine_cls):
+    engine = engine_cls(SlowLeaderElection(), 32, rng=2)
+    at_most_five = OutputCountCondition(lambda counts: counts.get("L", 0) <= 5)
+    assert at_most_five(engine) is False
+    assert engine.run_until(at_most_five, max_interactions=2_000_000) is True
+    assert engine.counts_by_output()["L"] <= 5
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_stable_outputs_on_count_engines(engine_cls):
+    engine = engine_cls(SlowLeaderElection(), 16, rng=3)
+    engine.run_until(
+        lambda eng: eng.counts_by_output().get("L", 0) == 1,
+        max_interactions=2_000_000,
+    )
+    predicate = StableOutputs(patience=2)
+    assert predicate(engine) is False
+    assert predicate(engine) is False
+    assert predicate(engine) is True
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_run_protocol_convergence_on_count_engines(engine_cls):
+    """End-to-end: predicate + driver + count engine through run_protocol."""
+    from repro.engine.simulation import run_protocol
+
+    result = run_protocol(
+        SlowLeaderElection(),
+        64,
+        seed=4,
+        max_parallel_time=1000.0,
+        engine_cls=engine_cls,
+    )
+    assert result.converged is True
+    assert result.leader_count == 1

@@ -1,10 +1,24 @@
-"""Tests for simulation recorders."""
+"""Tests for simulation recorders.
+
+Recorders observe engines only through the shared ``BaseEngine`` inspection
+API, so beyond the per-agent reference engine the suite drives every
+recorder against the count-space engines (``CountEngine``,
+``CountBatchEngine``) too — their count vectors and lazily-aggregated
+outputs must feed recorders exactly like a per-agent array does.
+"""
 
 from __future__ import annotations
 
+import pytest
+
+from repro.engine.count_batch import CountBatchEngine
+from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.engine.recorder import MetricRecorder, OutputCountRecorder, SnapshotRecorder
+from repro.protocols.epidemic import OneWayEpidemic
 from repro.protocols.slow import SlowLeaderElection
+
+COUNT_ENGINES = [CountEngine, CountBatchEngine]
 
 
 def _engine(n: int = 32, seed: int = 0) -> SequentialEngine:
@@ -80,3 +94,74 @@ def test_output_count_recorder_reset():
     recorder.record(engine)
     recorder.reset()
     assert recorder.series_for("L") == []
+
+
+# ----------------------------------------------------------------------
+# Count-space engines
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_snapshot_recorder_on_count_engines(engine_cls):
+    engine = engine_cls(SlowLeaderElection(), 32, rng=0)
+    recorder = SnapshotRecorder()
+    for _ in range(5):
+        engine.run(100)
+        recorder.record(engine)
+    assert len(recorder) == 5
+    assert all(sum(snapshot.values()) == 32 for snapshot in recorder.snapshots)
+    assert recorder.times == sorted(recorder.times)
+    # Snapshots hold decoded protocol states, not internal identifiers.
+    assert all(
+        set(snapshot) <= {"L", "F"} for snapshot in recorder.snapshots
+    )
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_metric_recorder_on_count_engines(engine_cls):
+    engine = engine_cls(SlowLeaderElection(), 32, rng=1)
+    recorder = MetricRecorder(metric=lambda eng: eng.count_of("L"), name="leaders")
+    for _ in range(4):
+        engine.run(200)
+        recorder.record(engine)
+    values = [value for _, value in recorder.series()]
+    assert len(values) == 4
+    # Leader count is non-increasing and never hits zero.
+    assert values == sorted(values, reverse=True)
+    assert values[-1] >= 1
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_output_count_recorder_on_count_engines(engine_cls):
+    engine = engine_cls(SlowLeaderElection(), 32, rng=2)
+    recorder = OutputCountRecorder()
+    for _ in range(3):
+        engine.run(100)
+        recorder.record(engine)
+    leader_series = recorder.series_for("L")
+    follower_series = recorder.series_for("F")
+    assert len(leader_series) == len(follower_series) == 3
+    for (_, leaders), (_, followers) in zip(leader_series, follower_series):
+        assert leaders + followers == 32
+
+
+@pytest.mark.parametrize("engine_cls", COUNT_ENGINES)
+def test_recorders_through_simulation_driver_on_count_engines(engine_cls):
+    """End-to-end: the Simulation driver invokes recorders at check points
+    on count-space engines exactly as on per-agent engines."""
+    from repro.engine.convergence import NeverConverge
+    from repro.engine.simulation import Simulation
+
+    n = 64
+    recorder = OutputCountRecorder()
+    simulation = Simulation(
+        OneWayEpidemic(),
+        n,
+        rng=3,
+        engine_cls=engine_cls,
+        convergence=NeverConverge(),
+        recorders=[recorder],
+    )
+    simulation.run(max_parallel_time=8.0)
+    # One record at the start plus one per check point (check_every = n).
+    assert len(recorder.times) == 9
+    informed = [counts.get("F", 0) for counts in recorder.counts]
+    assert all(total == n for total in informed)  # epidemic outputs are all F

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the documentation CI job.
+
+Scans markdown files (and the module docstrings of named ``.py`` files, so
+the engine guide in ``src/repro/engine/__init__.py`` is covered) for
+``[text](target)`` links and validates every **local** target: the
+referenced file or directory must exist relative to the file containing the
+link (anchors are stripped; pure-anchor links are checked against the
+file's own headings).  ``http(s)``/``mailto`` targets are *not* fetched —
+CI must not depend on external availability — but obviously malformed URLs
+fail.
+
+Usage::
+
+    python tools/check_links.py README.md docs src/repro/engine/__init__.py
+
+Directories are walked recursively for ``*.md``.  Exits non-zero listing
+every broken link.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL = re.compile(r"^(https?|mailto|ftp):")
+_URL_SHAPE = re.compile(r"^https?://[^\s/$.?#].[^\s]*$")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _sources(paths: Iterable[str]) -> List[Tuple[Path, str]]:
+    """``(path, text)`` pairs to scan: markdown bodies and .py docstrings."""
+    sources: List[Tuple[Path, str]] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for md in sorted(path.rglob("*.md")):
+                sources.append((md, md.read_text(encoding="utf-8")))
+        elif path.suffix == ".py":
+            module = ast.parse(path.read_text(encoding="utf-8"))
+            docstring = ast.get_docstring(module) or ""
+            sources.append((path, docstring))
+        else:
+            sources.append((path, path.read_text(encoding="utf-8")))
+    return sources
+
+
+def check(paths: Iterable[str]) -> List[str]:
+    """Return a list of human-readable problems (empty == all good)."""
+    problems: List[str] = []
+    for path, text in _sources(paths):
+        headings = {_slugify(h) for h in _HEADING.findall(text)}
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if _EXTERNAL.match(target):
+                if target.startswith(("http://", "https://")) and not _URL_SHAPE.match(
+                    target
+                ):
+                    problems.append(f"{path}: malformed URL {target!r}")
+                continue
+            base, _, anchor = target.partition("#")
+            if not base:
+                if anchor and _slugify(anchor) not in headings:
+                    problems.append(f"{path}: missing anchor #{anchor}")
+                continue
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target}")
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    problems = check(argv)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print("all links ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

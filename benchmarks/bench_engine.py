@@ -21,7 +21,11 @@ Two entry points:
   model); writes the machine-readable ``BENCH_engine.json`` at the repo
   root so the performance trajectory is tracked PR over PR.  The GSU19
   section pays the one-time ~45 s closure BFS; skip it with
-  ``--no-gsu19``.
+  ``--no-gsu19``.  ``--observed`` adds the observation-pipeline section:
+  observed-vs-unobserved GSU19 throughput with the ``SingleLeader``
+  predicate and a role-census recorder attached at a dense check cadence
+  (the compiled-view acceptance bound is observed <= 1.25x unobserved at
+  ``n = 10^7`` on the count-batch engine).
 
 The interesting outputs are the relative throughputs (interactions per
 second): the batched exact engine beats the sequential reference by a
@@ -369,6 +373,126 @@ def run_gsu19_ablation(
     }
 
 
+#: Observed-throughput section sizes (the acceptance point is 10^7; 10^6 is
+#: the weekly-CI smoke point).
+_OBSERVED_SIZES = (10**6, 10**7)
+
+#: Check cadence of the observed runs: one convergence check (predicate +
+#: recorder) per ``n / _OBSERVED_CHECK_DIVISOR`` interactions — a far denser
+#: cadence than the driver's default of one per parallel-time unit, so the
+#: measured overhead bounds any realistic observation schedule.
+_OBSERVED_CHECK_DIVISOR = 100
+
+
+def run_observed_ablation(
+    sizes: Sequence[int] = _OBSERVED_SIZES,
+    rounds: int = 3,
+    base_interactions: int = 4_000_000,
+) -> dict:
+    """Observed-vs-unobserved GSU19 throughput (the observation pipeline's
+    acceptance measurement).
+
+    The *observed* run attaches the tentpole observation configuration —
+    the protocol's ``SingleLeader`` convergence predicate (with its
+    compiled uninitialised-view side condition) plus a
+    ``RoleCensusRecorder`` — checked every ``n / 100`` interactions; the
+    *unobserved* run executes the same interactions with no checks at all.
+    Both share the warm-up and budget protocol of the GSU19 section.  The
+    headline number is ``ratio`` = observed / unobserved median run
+    seconds; the acceptance bound for the compiled observation pipeline is
+    ``ratio <= 1.25`` at ``n = 10^7`` on the count-batch engine.
+    """
+    from repro.core.monitor import RoleCensusRecorder
+
+    results: List[dict] = []
+    factory = _gsu19_at_scale
+    for n in sizes:
+        factory(n).reachable_state_closure()  # one-time BFS outside timings
+        budget = min(4 * n, base_interactions)
+        warmup = 2 * n
+        check_every = max(1, n // _OBSERVED_CHECK_DIVISOR)
+        for name in ("countbatch", "fastbatch"):
+            engine_cls = _GSU19_ENGINES[name]
+            unobserved_seconds: List[float] = []
+            observed_seconds: List[float] = []
+            checks = 0
+            converged = False
+            observed_interactions = 0
+            for _ in range(rounds):
+                engine = engine_cls(factory(n), n, rng=1)
+                engine.run(warmup)
+                start = time.perf_counter()
+                engine.run(budget)
+                unobserved_seconds.append(time.perf_counter() - start)
+
+                protocol = factory(n)
+                engine = engine_cls(protocol, n, rng=1)
+                predicate = protocol.convergence()
+                recorder = RoleCensusRecorder()
+                for view in predicate.views + recorder.views:
+                    engine.table.view_values(view)  # what Simulation warms
+                engine.run(warmup)
+                start = time.perf_counter()
+                converged = engine.run_until(
+                    predicate,
+                    max_interactions=budget,
+                    check_every=check_every,
+                    on_check=recorder.record,
+                )
+                observed_seconds.append(time.perf_counter() - start)
+                checks = len(recorder.times)
+                observed_interactions = engine.interactions - warmup
+            if converged:
+                # The ratio compares equal interaction workloads; an early
+                # convergence (possible only if a future calibration change
+                # collapses the election into the window) would make it
+                # meaningless, so flag it loudly instead of recording a
+                # vacuous pass.
+                print(
+                    f"observed {name} n={n}: CONVERGED after "
+                    f"{observed_interactions}/{budget} interactions - "
+                    "ratio compares unequal workloads",
+                    file=sys.stderr,
+                )
+            unobserved = median(unobserved_seconds)
+            observed = median(observed_seconds)
+            results.append(
+                {
+                    "engine": name,
+                    "n": n,
+                    "interactions": budget,
+                    "observed_interactions": observed_interactions,
+                    "converged": converged,
+                    "check_every": check_every,
+                    "checks": checks,
+                    "median_unobserved_seconds": unobserved,
+                    "median_observed_seconds": observed,
+                    "ratio_observed_over_unobserved": observed / unobserved,
+                }
+            )
+    return {
+        "observed": {
+            "schema": "bench-engine-observed/v1",
+            "workload": {
+                "protocol": "gsu19-leader-election",
+                "observation": (
+                    "SingleLeader convergence (uninitialised-view side "
+                    "condition) + RoleCensusRecorder, one check per n/100 "
+                    "interactions"
+                ),
+                "metric": (
+                    "median run seconds over rounds, after a 2-parallel-time "
+                    "warm-up; ratio = observed / unobserved"
+                ),
+                "rounds": rounds,
+                "c_kernel_available": kernel_available(),
+                "acceptance": "ratio <= 1.25 at n = 10^7 on countbatch",
+            },
+            "results": results,
+        }
+    }
+
+
 def write_bench_json(document: dict, path: Path = _DEFAULT_OUTPUT) -> Path:
     """Merge ``document`` into ``path`` (other top-level sections survive)."""
     existing: dict = {}
@@ -400,6 +524,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="skip the GSU19 count-space section (saves its ~45s closure BFS)",
     )
+    parser.add_argument(
+        "--observed",
+        action="store_true",
+        help=(
+            "also measure observed-vs-unobserved GSU19 throughput "
+            "(SingleLeader + role-census recorder at a dense check cadence)"
+        ),
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     document = run_ablation(sizes=args.sizes, rounds=args.rounds)
     # The GSU19 section respects --sizes: a quick small-size smoke must not
@@ -409,6 +541,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         document.update(
             run_gsu19_ablation(sizes=gsu19_sizes, rounds=max(2, args.rounds - 2))
         )
+    observed_sizes = tuple(n for n in _OBSERVED_SIZES if n <= max(args.sizes))
+    if args.observed:
+        if observed_sizes:
+            document.update(
+                run_observed_ablation(
+                    sizes=observed_sizes, rounds=max(2, args.rounds - 2)
+                )
+            )
+        else:
+            print(
+                "--observed skipped: the observed section measures at "
+                f"n in {list(_OBSERVED_SIZES)}, all above the largest "
+                f"requested size {max(args.sizes)}",
+                file=sys.stderr,
+            )
     path = write_bench_json(document, args.out)
     for record in document["results"]:
         print(
@@ -423,6 +570,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"gsu19 {record['engine']:>15}  n={record['n']:>8}  "
             f"{record['throughput_per_second'] / 1e6:8.2f} M interactions/s  "
             f"(occupied {record['occupied_states']})"
+        )
+    for record in document.get("observed", {}).get("results", []):
+        print(
+            f"observed {record['engine']:>12}  n={record['n']:>8}  "
+            f"{record['median_observed_seconds']:.3f}s vs "
+            f"{record['median_unobserved_seconds']:.3f}s unobserved  "
+            f"(x{record['ratio_observed_over_unobserved']:.3f}, "
+            f"{record['checks']} checks)"
         )
     print(f"wrote {path}")
     return 0

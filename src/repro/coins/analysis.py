@@ -17,10 +17,12 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.engine.base import BaseEngine
+from repro.engine.views import ValueView
 from repro.types import Role, State
 
 __all__ = [
     "CoinLevelObservation",
+    "COIN_LEVEL_VIEW",
     "coin_level_histogram",
     "empirical_bias",
     "junta_bounds",
@@ -33,6 +35,16 @@ def _default_is_coin(state: State) -> bool:
 
 def _default_level_of(state: State) -> int:
     return int(getattr(state, "level", 0))
+
+
+#: Coin level per state (inapplicable for non-coin roles), compiled once per
+#: state id so the per-census cost follows the occupied frontier.  Used by
+#: :func:`coin_level_histogram` whenever the caller keeps the default
+#: duck-typed accessors.
+COIN_LEVEL_VIEW = ValueView(
+    "coin-level",
+    lambda state: _default_level_of(state) if _default_is_coin(state) else None,
+)
 
 
 @dataclass
@@ -78,16 +90,26 @@ def coin_level_histogram(
     is_coin: Callable[[State], bool] = _default_is_coin,
     level_of: Callable[[State], int] = _default_level_of,
 ) -> CoinLevelObservation:
-    """Census of coin levels in the engine's current configuration."""
-    per_level: dict[int, int] = {}
-    highest = -1
-    for sid, count in engine.state_count_items():
-        state = engine.encoder.decode(sid)
-        if not is_coin(state):
-            continue
-        level = level_of(state)
-        per_level[level] = per_level.get(level, 0) + count
-        highest = max(highest, level)
+    """Census of coin levels in the engine's current configuration.
+
+    With the default accessors the census is one reduction over the
+    compiled :data:`COIN_LEVEL_VIEW`; custom accessors fall back to the
+    decode loop (they may close over per-call context, which the compiled
+    views' evaluate-once contract cannot cache).
+    """
+    if is_coin is _default_is_coin and level_of is _default_level_of:
+        per_level = COIN_LEVEL_VIEW.census(engine)
+        highest = max(per_level, default=-1)
+    else:
+        per_level = {}
+        highest = -1
+        for sid, count in engine.state_count_items():
+            state = engine.encoder.decode(sid)
+            if not is_coin(state):
+                continue
+            level = level_of(state)
+            per_level[level] = per_level.get(level, 0) + count
+            highest = max(highest, level)
     if max_level is not None:
         highest = max(highest, max_level)
     size = highest + 1 if highest >= 0 else 0

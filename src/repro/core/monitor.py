@@ -6,6 +6,16 @@ when each drag value first appears (Figure 3), how large the junta is
 (Figure 1 / Lemma 5.3), how many agents failed to get a role (Lemma 4.1).
 This module provides metric functions over an engine plus the recorders that
 collect the corresponding time series without touching the hot loop.
+
+Every metric is backed by a compiled state-property view
+(:mod:`repro.engine.views`): the per-state predicate or field access is
+evaluated once per state id on the protocol's shared transition table, and
+each metric call is then an ``O(occupied)`` vector reduction over the
+engine's count vector — no per-check decode loops, which is what makes
+monitored GSU19 runs at ``n = 10^7``–``10^8`` (and the lemma sweeps built
+on them) cost roughly the same as unmonitored ones.  The view constants
+below are module-level on purpose: shared across every engine, protocol
+instance and recorder, each table compiles them once.
 """
 
 from __future__ import annotations
@@ -13,12 +23,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.state import GSUAgentState, is_active_leader, is_alive_leader
+from repro.core.state import is_active_leader, is_alive_leader
 from repro.engine.base import BaseEngine
 from repro.engine.recorder import Recorder
+from repro.engine.views import CategoricalView, PredicateView, ValueView
 from repro.types import Elevation, LeaderMode, Role
 
 __all__ = [
+    "ROLE_VIEW",
+    "ACTIVE_LEADER_VIEW",
+    "ALIVE_LEADER_VIEW",
+    "UNINITIALISED_VIEW",
+    "FINAL_EPOCH_LEADER_VIEW",
+    "LEADER_DRAG_VIEW",
+    "ACTIVE_CNT_VIEW",
+    "INHIBITOR_DRAG_VIEW",
+    "HIGH_INHIBITOR_DRAG_VIEW",
     "role_census",
     "active_leader_count",
     "alive_leader_count",
@@ -34,76 +54,107 @@ __all__ = [
 
 
 # ----------------------------------------------------------------------
+# Compiled views over GSUAgentState
+# ----------------------------------------------------------------------
+#: Which sub-population an agent belongs to (categories in ``Role`` order).
+ROLE_VIEW = CategoricalView(
+    "gsu-role", lambda state: state.role, categories=tuple(Role)
+)
+
+#: Active candidates (``L⟨A⟩``).
+ACTIVE_LEADER_VIEW = PredicateView("gsu-active-leader", is_active_leader)
+
+#: Alive candidates (``L⟨A⟩`` or ``L⟨P⟩`` — the leader-output agents).
+ALIVE_LEADER_VIEW = PredicateView("gsu-alive-leader", is_alive_leader)
+
+#: Agents still in role ``0`` or ``X`` (Lemma 4.1's quantity).
+UNINITIALISED_VIEW = PredicateView(
+    "gsu-uninitialised", lambda state: state.role in (Role.ZERO, Role.X)
+)
+
+#: Non-withdrawn candidates whose fast-elimination schedule has run out
+#: (``cnt == 0`` — the final-elimination epoch of Figure 3).
+FINAL_EPOCH_LEADER_VIEW = PredicateView(
+    "gsu-final-epoch-leader",
+    lambda state: (
+        state.role == Role.LEADER
+        and state.leader_mode != LeaderMode.WITHDRAWN
+        and state.cnt == 0
+    ),
+)
+
+#: Drag value of leader-role agents (inapplicable elsewhere).
+LEADER_DRAG_VIEW = ValueView(
+    "gsu-leader-drag",
+    lambda state: state.drag if state.role == Role.LEADER else None,
+)
+
+#: Round counter of *active* candidates (inapplicable elsewhere).
+ACTIVE_CNT_VIEW = ValueView(
+    "gsu-active-cnt",
+    lambda state: state.cnt if is_active_leader(state) else None,
+)
+
+#: Drag value of inhibitors (Lemma 7.1's grouping key).
+INHIBITOR_DRAG_VIEW = ValueView(
+    "gsu-inhibitor-drag",
+    lambda state: state.drag if state.role == Role.INHIBITOR else None,
+)
+
+#: Drag value of ``high`` inhibitors only.
+HIGH_INHIBITOR_DRAG_VIEW = ValueView(
+    "gsu-high-inhibitor-drag",
+    lambda state: (
+        state.drag
+        if state.role == Role.INHIBITOR and state.elevation == Elevation.HIGH
+        else None
+    ),
+)
+
+
+# ----------------------------------------------------------------------
 # Metric functions (engine -> number / dict)
 # ----------------------------------------------------------------------
 def role_census(engine: BaseEngine) -> Dict[Role, int]:
     """Number of agents per role in the current configuration."""
     census: Dict[Role, int] = {role: 0 for role in Role}
-    for sid, count in engine.state_count_items():
-        state: GSUAgentState = engine.encoder.decode(sid)
-        census[state.role] = census.get(state.role, 0) + count
+    census.update(ROLE_VIEW.census(engine))
     return census
 
 
 def active_leader_count(engine: BaseEngine) -> int:
     """Number of *active* candidates (``L⟨A⟩``)."""
-    return engine.count_where(is_active_leader)
+    return ACTIVE_LEADER_VIEW.count(engine)
 
 
 def alive_leader_count(engine: BaseEngine) -> int:
     """Number of *alive* candidates (``L⟨A⟩`` or ``L⟨P⟩``)."""
-    return engine.count_where(is_alive_leader)
+    return ALIVE_LEADER_VIEW.count(engine)
 
 
 def uninitialised_count(engine: BaseEngine) -> int:
     """Number of agents still in role ``0`` or ``X`` (Lemma 4.1's quantity)."""
-    return engine.count_where(
-        lambda state: state.role in (Role.ZERO, Role.X)
-    )
+    return UNINITIALISED_VIEW.count(engine)
 
 
 def max_leader_drag(engine: BaseEngine) -> int:
     """Largest drag value currently held by any leader-role agent."""
-    best = 0
-    for sid, count in engine.state_count_items():
-        state: GSUAgentState = engine.encoder.decode(sid)
-        if count and state.role == Role.LEADER:
-            best = max(best, state.drag)
-    return best
+    return LEADER_DRAG_VIEW.max(engine, default=0)
 
 
 def min_active_cnt(engine: BaseEngine) -> Optional[int]:
     """Smallest round counter among active candidates (``None`` if none)."""
-    best: Optional[int] = None
-    for sid, count in engine.state_count_items():
-        state: GSUAgentState = engine.encoder.decode(sid)
-        if count and is_active_leader(state):
-            best = state.cnt if best is None else min(best, state.cnt)
-    return best
+    return ACTIVE_CNT_VIEW.min(engine, default=None)
 
 
 def inhibitor_drag_census(engine: BaseEngine) -> Dict[int, int]:
     """Number of inhibitors per drag value (Lemma 7.1's ``D_ℓ``)."""
-    census: Dict[int, int] = {}
-    for sid, count in engine.state_count_items():
-        state: GSUAgentState = engine.encoder.decode(sid)
-        if count and state.role == Role.INHIBITOR:
-            census[state.drag] = census.get(state.drag, 0) + count
-    return census
+    return INHIBITOR_DRAG_VIEW.census(engine)
 
 
 def high_inhibitor_census(engine: BaseEngine) -> Dict[int, int]:
     """Number of ``high`` inhibitors per drag value."""
-    census: Dict[int, int] = {}
-    for sid, count in engine.state_count_items():
-        state: GSUAgentState = engine.encoder.decode(sid)
-        if (
-            count
-            and state.role == Role.INHIBITOR
-            and state.elevation == Elevation.HIGH
-        ):
-            census[state.drag] = census.get(state.drag, 0) + count
-    return census
+    return HIGH_INHIBITOR_DRAG_VIEW.census(engine)
 
 
 # ----------------------------------------------------------------------
@@ -120,6 +171,8 @@ class FastEliminationTracker(Recorder):
     was last observed", which is the series plotted in the paper's Figure 2
     (one point per biased-coin application).
     """
+
+    views = (ACTIVE_CNT_VIEW, ACTIVE_LEADER_VIEW, ALIVE_LEADER_VIEW)
 
     times: List[float] = field(default_factory=list)
     cnt_values: List[Optional[int]] = field(default_factory=list)
@@ -160,18 +213,13 @@ class DragTickTracker(Recorder):
     interval to the first drag-1 candidate is then the genuine first tick.
     """
 
+    views = (FINAL_EPOCH_LEADER_VIEW, LEADER_DRAG_VIEW)
+
     first_seen: Dict[int, float] = field(default_factory=dict)
 
     def record(self, engine: BaseEngine) -> None:
         if 0 not in self.first_seen:
-            entered_final_epoch = any(
-                count > 0
-                and (state := engine.encoder.decode(sid)).role == Role.LEADER
-                and state.leader_mode != LeaderMode.WITHDRAWN
-                and state.cnt == 0
-                for sid, count in engine.state_count_items()
-            )
-            if entered_final_epoch:
+            if FINAL_EPOCH_LEADER_VIEW.count(engine) > 0:
                 self.first_seen[0] = engine.parallel_time
         drag = max_leader_drag(engine)
         for value in range(1, drag + 1):
@@ -193,6 +241,8 @@ class DragTickTracker(Recorder):
 @dataclass
 class RoleCensusRecorder(Recorder):
     """Records the role census over time (used for Lemma 4.1 and reports)."""
+
+    views = (ROLE_VIEW,)
 
     times: List[float] = field(default_factory=list)
     censuses: List[Dict[Role, int]] = field(default_factory=list)

@@ -97,6 +97,26 @@ The :mod:`repro.engine.simulation` module layers run management (convergence
 predicates, interaction budgets, recorders, result objects) on top of the
 engines, and :mod:`repro.engine.parallel` adds multi-seed sweep drivers.
 
+Observation pipeline
+====================
+
+Observation (convergence checks, recorders, monitor metrics) is compiled,
+not interpreted: a state property — predicate, integer metric, or
+categorical label — is declared once as a **state-property view**
+(:mod:`repro.engine.views`: :class:`~repro.engine.views.PredicateView`,
+:class:`~repro.engine.views.ValueView`,
+:class:`~repro.engine.views.CategoricalView`), evaluated once per state id
+into a NumPy vector cached on the protocol's shared transition table, and
+reduced per check against the engine's native dense
+:meth:`~repro.engine.base.BaseEngine.count_vector` (no dict snapshots, no
+decode loops).  Predicates and recorders declare the views they evaluate
+(their ``views`` attribute) and :class:`~repro.engine.simulation.Simulation`
+warms them up front.  ``Simulation(check_every="auto")`` additionally
+replaces the fixed check period with a geometric back-off driven by the
+output census, so observation cost concentrates where the dynamics are.
+The observed-vs-unobserved overhead is tracked in the ``observed`` section
+of ``BENCH_engine.json`` (``benchmarks/bench_engine.py --observed``).
+
 Checkpoint / resume
 ===================
 
@@ -119,6 +139,12 @@ from __future__ import annotations
 from repro.engine.protocol import PopulationProtocol, ProtocolSpec
 from repro.engine.state import StateEncoder
 from repro.engine.table import TransitionTable
+from repro.engine.views import (
+    CategoricalView,
+    PredicateView,
+    StateView,
+    ValueView,
+)
 from repro.engine.closure import reachable_states
 from repro.engine.rng import make_rng, restore_rng_state, rng_state, spawn_seeds
 from repro.engine.scheduler import PairSampler
@@ -155,6 +181,10 @@ __all__ = [
     "ProtocolSpec",
     "StateEncoder",
     "TransitionTable",
+    "StateView",
+    "PredicateView",
+    "ValueView",
+    "CategoricalView",
     "reachable_states",
     "make_rng",
     "rng_state",

@@ -19,6 +19,8 @@ from __future__ import annotations
 import abc
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike
 from repro.errors import CheckpointError, ConfigurationError
@@ -117,8 +119,31 @@ class BaseEngine(abc.ABC):
                 return count
         return 0
 
+    def count_vector(self) -> np.ndarray:
+        """Dense current counts indexed by state id.
+
+        The returned ``int64`` array has length exactly ``len(self.encoder)``
+        and ``count_vector()[sid]`` agents in the state registered under
+        ``sid``.  Engines with a native dense representation (the count
+        engines, the batched per-agent engine's cached bincount) return
+        their own buffer — treat the array as **read-only** and do not hold
+        it across simulation steps.  This is the substrate the compiled
+        state-property views (:mod:`repro.engine.views`) reduce against.
+        """
+        counts = np.zeros(len(self.encoder), dtype=np.int64)
+        for sid, count in self.state_count_items():
+            counts[sid] = count
+        return counts
+
     def count_where(self, predicate: Callable[[State], bool]) -> int:
-        """Number of agents whose state satisfies ``predicate``."""
+        """Number of agents whose state satisfies ``predicate``.
+
+        Decodes every occupied state and evaluates ``predicate`` in Python
+        *per call*; observation loops that run every check should compile
+        the predicate into a :class:`~repro.engine.views.PredicateView`
+        once and use its :meth:`~repro.engine.views.PredicateView.count`
+        reduction instead.
+        """
         total = 0
         for sid, count in self.state_count_items():
             if predicate(self.encoder.decode(sid)):

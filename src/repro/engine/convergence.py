@@ -34,17 +34,30 @@ inspection API, so any engine representation works:
     >>> engine.leader_count()
     1
 
+Per-state work is compiled, not interpreted: predicates over individual
+agent states go through :mod:`repro.engine.views` (``AllAgentsSatisfy``
+lowers its predicate into a :class:`~repro.engine.views.PredicateView`), so
+each state is evaluated once per state id and every check is a vector
+reduction over the engine's count vector.  Predicates advertise the views
+they evaluate through their :attr:`~ConvergencePredicate.views` attribute;
+the :class:`~repro.engine.simulation.Simulation` driver warms declared
+views against the engine's compiled table before the run starts.
+
 Stateful predicates (:class:`StableOutputs`) are reset at the start of every
-:meth:`Simulation.run <repro.engine.simulation.Simulation.run>` and are not
-carried across checkpoint/resume boundaries.
+:meth:`Simulation.run <repro.engine.simulation.Simulation.run>`; their
+internal memory is carried across checkpoint/resume boundaries through
+:meth:`~ConvergencePredicate.state_snapshot` /
+:meth:`~ConvergencePredicate.state_restore`, so an interrupted-and-resumed
+run converges at exactly the check the uninterrupted run would have.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.engine.base import BaseEngine
 from repro.engine.protocol import LEADER_OUTPUT
+from repro.engine.views import PredicateView, StateView
 from repro.types import State
 
 __all__ = [
@@ -62,11 +75,29 @@ class ConvergencePredicate:
 
     description: str = "unspecified condition"
 
+    #: State-property views this predicate evaluates.  Drivers warm these
+    #: against the engine's compiled table before the run, so per-check
+    #: work is purely the vector reduction.
+    views: Tuple[StateView, ...] = ()
+
     def __call__(self, engine: BaseEngine) -> bool:  # pragma: no cover - interface
         raise NotImplementedError
 
     def reset(self) -> None:
         """Clear any internal memory (stateful predicates override this)."""
+
+    def state_snapshot(self) -> Optional[dict]:
+        """Resumable internal memory, or ``None`` for stateless predicates.
+
+        Stateful predicates return a picklable dictionary capturing the
+        memory a resumed run needs to converge at the same check as the
+        uninterrupted run; :class:`~repro.engine.simulation.Simulation`
+        embeds it in checkpoint payloads.
+        """
+        return None
+
+    def state_restore(self, payload: dict) -> None:
+        """Restore memory captured by :meth:`state_snapshot` (default: no-op)."""
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__}: {self.description}>"
@@ -82,17 +113,21 @@ class NeverConverge(ConvergencePredicate):
 
 
 class AllAgentsSatisfy(ConvergencePredicate):
-    """Every occupied state satisfies ``predicate``."""
+    """Every occupied state satisfies ``predicate``.
+
+    ``predicate`` must be pure: it is compiled into a
+    :class:`~repro.engine.views.PredicateView` and evaluated once per state
+    id, so each check costs one vector reduction instead of a decode loop.
+    """
 
     def __init__(self, predicate: Callable[[State], bool], description: str = "") -> None:
         self.predicate = predicate
         self.description = description or "all agents satisfy predicate"
+        self._view = PredicateView(f"all-agents({self.description})", predicate)
+        self.views = (self._view,)
 
     def __call__(self, engine: BaseEngine) -> bool:
-        for sid, count in engine.state_count_items():
-            if count and not self.predicate(engine.encoder.decode(sid)):
-                return False
-        return True
+        return self._view.holds_for_all(engine)
 
 
 class OutputCountCondition(ConvergencePredicate):
@@ -118,15 +153,20 @@ class SingleLeader(ConvergencePredicate):
         leader-output agents can appear (e.g. "no agent is still in the
         pre-initialisation role" for the GSU19 protocol).  When provided, the
         predicate requires both.
+    views:
+        Views the ``extra_condition`` evaluates, declared so the driver can
+        warm them (see :attr:`ConvergencePredicate.views`).
     """
 
     def __init__(
         self,
         extra_condition: Optional[Callable[[BaseEngine], bool]] = None,
         description: str = "",
+        views: Iterable[StateView] = (),
     ) -> None:
         self.extra_condition = extra_condition
         self.description = description or "exactly one leader-output agent"
+        self.views = tuple(views)
 
     def __call__(self, engine: BaseEngine) -> bool:
         leaders = engine.counts_by_output().get(LEADER_OUTPUT, 0)
@@ -138,7 +178,16 @@ class SingleLeader(ConvergencePredicate):
 
 
 class StableOutputs(ConvergencePredicate):
-    """Output counts unchanged for ``patience`` consecutive checks."""
+    """Output counts unchanged for ``patience`` consecutive checks.
+
+    The streak survives checkpoint/resume: :meth:`state_snapshot` captures
+    the last observed output counts and the streak.  Checkpoints are
+    written *before* the predicate evaluates at a check point, so the
+    resumed run's initial evaluation stands in for exactly the evaluation
+    the interrupted run made right after writing the checkpoint — the
+    resumed streak therefore converges at the same check the uninterrupted
+    run would have (pinned by the resume-equivalence test).
+    """
 
     def __init__(self, patience: int = 5) -> None:
         if patience < 1:
@@ -151,6 +200,17 @@ class StableOutputs(ConvergencePredicate):
     def reset(self) -> None:
         self._last = None
         self._streak = 0
+
+    def state_snapshot(self) -> Optional[dict]:
+        return {
+            "last": None if self._last is None else dict(self._last),
+            "streak": self._streak,
+        }
+
+    def state_restore(self, payload: dict) -> None:
+        last = payload.get("last")
+        self._last = None if last is None else dict(last)
+        self._streak = int(payload.get("streak", 0))
 
     def __call__(self, engine: BaseEngine) -> bool:
         current = engine.counts_by_output()

@@ -208,3 +208,7 @@ class CountEngine(BaseEngine):
     # ------------------------------------------------------------------
     def state_count_items(self) -> List[Tuple[int, int]]:
         return [(sid, count) for sid, count in enumerate(self._counts) if count > 0]
+
+    def count_vector(self) -> np.ndarray:
+        self._grow_counts()
+        return np.asarray(self._counts, dtype=np.int64)

@@ -124,6 +124,10 @@ class SequentialEngine(BaseEngine):
     def state_count_items(self) -> List[Tuple[int, int]]:
         return [(sid, count) for sid, count in enumerate(self._counts) if count > 0]
 
+    def count_vector(self) -> np.ndarray:
+        self._grow_counts()
+        return np.asarray(self._counts, dtype=np.int64)
+
     def agent_state(self, index: int):
         """State of agent ``index`` (useful in tests and traces)."""
         return self.encoder.decode(self._agent_states[index])

@@ -501,7 +501,13 @@ class FastBatchEngine(BaseEngine):
     # Inspection
     # ------------------------------------------------------------------
     def _current_counts(self) -> np.ndarray:
-        if self._cached_counts_stamp != self.interactions:
+        # Recompute when the engine stepped since the cache was built, or
+        # when the shared encoder grew past it (a sibling engine on the
+        # same protocol can register states without this engine stepping).
+        if (
+            self._cached_counts_stamp != self.interactions
+            or self._cached_counts.shape[0] < len(self.encoder)
+        ):
             self._cached_counts = np.bincount(
                 self._agent_states, minlength=len(self.encoder)
             )
@@ -511,6 +517,10 @@ class FastBatchEngine(BaseEngine):
     def state_count_items(self) -> List[Tuple[int, int]]:
         counts = self._current_counts()
         return [(int(sid), int(counts[sid])) for sid in np.flatnonzero(counts > 0)]
+
+    def count_vector(self) -> np.ndarray:
+        """The cached per-inspection bincount (read-only, O(n) on miss)."""
+        return self._current_counts()[: len(self.encoder)]
 
     def counts_by_output(self):
         """Vectorised aggregation through the table's output maps."""

@@ -2,13 +2,18 @@
 
 A recorder is an object with a ``record(engine)`` method; the
 :class:`repro.engine.simulation.Simulation` driver invokes every attached
-recorder at each convergence-check point (every ``check_every`` interactions).
+recorder at each convergence-check point (every ``check_every`` interactions,
+or at the adaptive cadence's check points when ``check_every="auto"``).
 Recorders are how the experiment harness extracts time series such as "number
 of active leader candidates over time" or "coin level histogram at the end of
 every phase-clock round" without slowing down the engine's hot loop.
 
 Recorders read engines only through the shared inspection API, so they work
-identically on per-agent and count-space engines:
+identically on per-agent and count-space engines.  Metrics that loop over
+states should be compiled into state-property views
+(:mod:`repro.engine.views`) and declared through the recorder's
+:attr:`~Recorder.views` attribute, so each record call is a vector reduction
+over the engine's count vector:
 
     >>> from repro.engine.recorder import MetricRecorder
     >>> from repro.engine.count_engine import CountEngine
@@ -18,7 +23,10 @@ identically on per-agent and count-space engines:
     >>> engine = CountEngine(SlowLeaderElection(), 32, rng=0)
     >>> recorder.record(engine)
     >>> recorder.last()   # everyone starts as a leader
-    32.0
+    32
+
+Recorded values keep their native type — an integer-valued metric stays
+``int`` (NumPy scalars are converted to their Python equivalents).
 
 Recorder state lives in memory for the duration of one run; it is **not**
 part of engine checkpoints (a resumed run records from the resume point on).
@@ -27,9 +35,12 @@ part of engine checkpoints (a resumed run records from the resume point on).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.engine.base import BaseEngine
+from repro.engine.views import StateView
 from repro.types import State
 
 __all__ = [
@@ -42,6 +53,11 @@ __all__ = [
 
 class Recorder:
     """Base class for simulation observers."""
+
+    #: State-property views this recorder evaluates; the simulation driver
+    #: warms declared views against the engine's compiled table up front
+    #: (see :mod:`repro.engine.views`).
+    views: Tuple[StateView, ...] = ()
 
     def record(self, engine: BaseEngine) -> None:  # pragma: no cover - interface
         raise NotImplementedError
@@ -80,16 +96,25 @@ class SnapshotRecorder(Recorder):
 
 @dataclass
 class MetricRecorder(Recorder):
-    """Applies a scalar metric ``engine -> float`` at every check point."""
+    """Applies a scalar metric ``engine -> value`` at every check point.
 
-    metric: Callable[[BaseEngine], float] = None  # type: ignore[assignment]
+    Values are stored with the metric's native type: an integer-valued
+    metric (a count, a level) yields an ``int`` series, a ratio a ``float``
+    one.  NumPy scalars are unwrapped to their Python equivalents so the
+    series stays plain data.
+    """
+
+    metric: Callable[[BaseEngine], object] = None  # type: ignore[assignment]
     name: str = "metric"
     times: List[float] = field(default_factory=list)
-    values: List[float] = field(default_factory=list)
+    values: List[object] = field(default_factory=list)
 
     def record(self, engine: BaseEngine) -> None:
         self.times.append(engine.parallel_time)
-        self.values.append(float(self.metric(engine)))
+        value = self.metric(engine)
+        if isinstance(value, np.generic):
+            value = value.item()
+        self.values.append(value)
 
     def reset(self) -> None:
         self.times.clear()
@@ -99,7 +124,7 @@ class MetricRecorder(Recorder):
         """The recorded ``(parallel_time, value)`` pairs."""
         return list(zip(self.times, self.values))
 
-    def last(self) -> Optional[float]:
+    def last(self) -> Optional[object]:
         """Most recent recorded value, or ``None`` when empty."""
         return self.values[-1] if self.values else None
 

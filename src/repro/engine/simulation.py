@@ -64,6 +64,17 @@ from repro.types import State
 
 __all__ = ["RunResult", "Simulation", "run_protocol"]
 
+#: A run's convergence-check cadence: an interaction period, ``"auto"`` for
+#: the adaptive geometric back-off, or ``None`` for the default (``n``).
+CheckEvery = Optional[Union[int, str]]
+
+#: Adaptive cadence: the first check runs after ``n // _AUTO_BASE_DIVISOR``
+#: interactions and the period doubles while the output census is
+#: unchanged, capped at ``_AUTO_MAX_UNITS * n`` interactions between checks
+#: (so convergence is detected within a bounded parallel-time lag).
+_AUTO_BASE_DIVISOR = 4
+_AUTO_MAX_UNITS = 4
+
 
 @dataclass
 class RunResult:
@@ -147,7 +158,14 @@ class Simulation:
     recorders:
         Observers invoked at every check point.
     check_every:
-        Convergence-check period in interactions (default: ``n``).
+        Convergence-check period in interactions (default: ``n``), or
+        ``"auto"`` for the adaptive cadence: checks start every ``n // 4``
+        interactions and back off geometrically (doubling, capped at
+        ``4 n``) while the output census is unchanged, snapping back to
+        the base period the moment it changes.  Observation then
+        concentrates where the dynamics are, and a long quiescent tail
+        costs a handful of checks instead of one per parallel-time unit.
+        Recorder time series inherit the adaptive spacing.
     checkpoint_every:
         When set (with ``checkpoint_path``), write a resumable checkpoint
         at every convergence check point at least this many interactions
@@ -174,7 +192,7 @@ class Simulation:
         engine_kwargs: Optional[dict] = None,
         convergence: Optional[ConvergencePredicate] = None,
         recorders: Optional[Sequence[Recorder]] = None,
-        check_every: Optional[int] = None,
+        check_every: CheckEvery = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
     ) -> None:
@@ -188,7 +206,13 @@ class Simulation:
         )
         self.convergence = convergence if convergence is not None else SingleLeader()
         self.recorders: List[Recorder] = list(recorders or [])
+        if isinstance(check_every, str) and check_every != "auto":
+            raise ConfigurationError(
+                f"check_every must be a positive interaction period or "
+                f"'auto', got {check_every!r}"
+            )
         self.check_every = check_every
+        self._warm_views()
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise ConfigurationError(
                 f"checkpoint_every must be positive, got {checkpoint_every}"
@@ -204,6 +228,42 @@ class Simulation:
         # measured from interaction 0 (resume semantics) rather than as
         # additional interactions from the current position.
         self._resumed = False
+        # Stateful-predicate memory recovered from a checkpoint, applied on
+        # the next run() (after its reset) and then discarded.
+        self._pending_convergence_state: Optional[dict] = None
+        # Adaptive-cadence controller state (current period + last output
+        # census).  Live only while _run_adaptive drives the run; carried
+        # through checkpoints because the chunk sequence it produces shapes
+        # randomness consumption — restarting the controller on resume
+        # would silently fork the trajectory from the uninterrupted run's.
+        self._auto_period: Optional[int] = None
+        self._auto_signature: Optional[Dict[str, int]] = None
+        self._pending_auto_state: Optional[dict] = None
+        # Whether the current check point lies on the run's natural chunk
+        # grid.  The adaptive driver clears it for a check reached through
+        # a budget-clipped chunk: that configuration is an artifact of
+        # *this* run's deadline — a longer run never visits it — so a
+        # checkpoint written there could not resume bit-exactly.  Fixed
+        # cadences have the same hazard at their final clipped check;
+        # _on_check detects those arithmetically from the run's start.
+        self._at_aligned_check = True
+        self._run_started_at = self.engine.interactions
+
+    def _warm_views(self) -> None:
+        """Compile every view declared by the predicate and the recorders.
+
+        For protocols with an eagerly registered state space (canonical
+        states / reachable closure) this evaluates each declared view over
+        the whole space once, at simulation-construction time; per-check
+        observation is then purely a vector reduction.  Lazily discovering
+        protocols still extend the vectors as states register.
+        """
+        table = self.engine.table
+        for view in getattr(self.convergence, "views", ()):
+            table.view_values(view)
+        for recorder in self.recorders:
+            for view in getattr(recorder, "views", ()):
+                table.view_values(view)
 
     # ------------------------------------------------------------------
     # Checkpointing
@@ -233,6 +293,29 @@ class Simulation:
             "n": self.n,
             "seed": self.seed,
             "check_every": self.check_every,
+            # Stateful predicates (StableOutputs' streak) must survive the
+            # interrupt, or a resumed run converges later than the
+            # uninterrupted one; the type tag guards against restoring the
+            # memory into a different predicate on resume.
+            "convergence_type": type(self.convergence).__name__,
+            "convergence_state": self.convergence.state_snapshot(),
+            # The adaptive controller as of *before* the current check's
+            # update (checkpoints are written before the predicate and the
+            # controller run at a check point), so a resumed run applies
+            # the same update the interrupted run applied right after
+            # writing this checkpoint.
+            "auto_cadence": (
+                None
+                if self._auto_period is None
+                else {
+                    "period": int(self._auto_period),
+                    "signature": (
+                        None
+                        if self._auto_signature is None
+                        else dict(self._auto_signature)
+                    ),
+                }
+            ),
         }
 
     def write_checkpoint(self) -> Path:
@@ -255,7 +338,7 @@ class Simulation:
         *,
         convergence: Optional[ConvergencePredicate] = None,
         recorders: Optional[Sequence[Recorder]] = None,
-        check_every: Optional[int] = None,
+        check_every: CheckEvery = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         engine_kwargs: Optional[dict] = None,
@@ -270,9 +353,14 @@ class Simulation:
         engine class, its constructor keywords, the seed bookkeeping and
         the check period are recovered from the checkpoint, and the engine
         state — configuration, interaction counter, RNG position, state
-        layout — from the embedded snapshot.  Convergence predicates and
-        recorders are *not* checkpointed: pass fresh ones (stateful
-        predicates such as ``StableOutputs`` restart their streak).
+        layout — from the embedded snapshot.  Recorders are *not*
+        checkpointed (a resumed run records from the resume point on), but
+        stateful convergence predicates are: pass a fresh predicate of the
+        same type as the interrupted run's and its internal memory
+        (``StableOutputs``' streak) is restored from the checkpoint, so
+        the resumed run converges at exactly the check the uninterrupted
+        run would have.  A predicate of a different type ignores the
+        recorded memory and starts fresh.
 
         The returned simulation is marked as resumed: ``run`` interprets
         ``max_parallel_time`` as the total budget from interaction 0, so
@@ -331,12 +419,26 @@ class Simulation:
         simulation.engine.restore(checkpoint["engine_snapshot"])
         simulation._last_checkpoint = simulation.engine.interactions
         simulation._resumed = True
+        recorded_state = checkpoint.get("convergence_state")
+        if (
+            recorded_state is not None
+            and checkpoint.get("convergence_type")
+            == type(simulation.convergence).__name__
+        ):
+            simulation._pending_convergence_state = recorded_state
+        simulation._pending_auto_state = checkpoint.get("auto_cadence")
         return simulation
 
     # ------------------------------------------------------------------
     def add_recorder(self, recorder: Recorder) -> Recorder:
-        """Attach a recorder and return it (for chaining)."""
+        """Attach a recorder and return it (for chaining).
+
+        The recorder's declared views are warmed immediately, like those of
+        recorders passed to the constructor.
+        """
         self.recorders.append(recorder)
+        for view in getattr(recorder, "views", ()):
+            self.engine.table.view_values(view)
         return recorder
 
     def _notify_recorders(self, engine: BaseEngine) -> None:
@@ -344,10 +446,26 @@ class Simulation:
             recorder.record(engine)
 
     def _on_check(self, engine: BaseEngine) -> None:
-        """Per-check-point hook: recorders first, then due checkpoints."""
+        """Per-check-point hook: recorders first, then due checkpoints.
+
+        Checkpoints are written only at checks on the run's natural chunk
+        grid.  A budget-exhausted run's final check can be reached through
+        a deadline-clipped chunk; the chunk sequence shapes randomness
+        consumption, so that configuration is an artifact of the shorter
+        budget — a longer run never visits it — and a checkpoint written
+        there could not resume the longer run bit-exactly.
+        """
         self._notify_recorders(engine)
+        if self.checkpoint_every is None:
+            return
+        aligned = self._at_aligned_check
+        if aligned and self.check_every != "auto":
+            # Fixed cadence: grid points are check_every multiples from the
+            # run's start (which itself is a grid point for resumed runs).
+            period = self.check_every if self.check_every is not None else engine.n
+            aligned = (engine.interactions - self._run_started_at) % period == 0
         if (
-            self.checkpoint_every is not None
+            aligned
             and engine.interactions - self._last_checkpoint >= self.checkpoint_every
         ):
             self.write_checkpoint()
@@ -379,17 +497,36 @@ class Simulation:
                 f"max_parallel_time must be positive, got {max_parallel_time}"
             )
         self.convergence.reset()
+        if self._pending_convergence_state is not None:
+            self.convergence.state_restore(self._pending_convergence_state)
+            self._pending_convergence_state = None
+        self._at_aligned_check = True
+        self._run_started_at = self.engine.interactions
+        self._auto_period = None
+        self._auto_signature = None
+        if self._pending_auto_state is not None:
+            # Only an adaptive run may continue the recorded controller; a
+            # fixed-cadence resume must not carry it into its own
+            # checkpoints as stale state.
+            if self.check_every == "auto":
+                self._auto_period = int(self._pending_auto_state["period"])
+                signature = self._pending_auto_state.get("signature")
+                self._auto_signature = None if signature is None else dict(signature)
+            self._pending_auto_state = None
         budget = int(round(max_parallel_time * self.n))
         if self._resumed:
             budget = max(0, budget - self.engine.interactions)
         use_hook = bool(self.recorders) or self.checkpoint_every is not None
         started = _time.perf_counter()
-        converged = self.engine.run_until(
-            self.convergence,
-            max_interactions=budget,
-            check_every=self.check_every,
-            on_check=self._on_check if use_hook else None,
-        )
+        if self.check_every == "auto":
+            converged = self._run_adaptive(budget, use_hook)
+        else:
+            converged = self.engine.run_until(
+                self.convergence,
+                max_interactions=budget,
+                check_every=self.check_every,
+                on_check=self._on_check if use_hook else None,
+            )
         elapsed = _time.perf_counter() - started
         if not converged and raise_on_budget:
             raise ConvergenceError(
@@ -398,6 +535,51 @@ class Simulation:
                 f"{self.convergence.description!r}",
             )
         return self.result(converged=converged, wall_clock_seconds=elapsed)
+
+    def _run_adaptive(self, budget: int, use_hook: bool) -> bool:
+        """Drive the run at the adaptive check cadence.
+
+        Mirrors :meth:`BaseEngine.run_until` (observer first, then the
+        predicate, at every check point including the starting position),
+        but chooses the next check period from the observed dynamics: the
+        period doubles while the output census is unchanged between checks
+        and snaps back to the base period (``n // 4`` interactions) when it
+        changes, capped at ``4 n``.  The census comes from
+        ``counts_by_output()`` — a vector reduction on the count-space
+        engines — so the cadence controller itself costs O(occupied) per
+        check.
+
+        The controller lives in ``self._auto_period`` /
+        ``self._auto_signature`` and is updated *after* the check's
+        observer hook, so a checkpoint written at a check point records
+        the pre-update state; restoring it makes the resumed run's first
+        controller update identical to the one the interrupted run applied
+        right after writing the checkpoint — the chunk sequence (and with
+        it the randomness consumption) continues bit-exactly.
+        """
+        engine = self.engine
+        base = max(1, self.n // _AUTO_BASE_DIVISOR)
+        cap = max(base, _AUTO_MAX_UNITS * self.n)
+        if self._auto_period is None:
+            self._auto_period = base
+            self._auto_signature = None
+        deadline = engine.interactions + budget
+        while True:
+            if use_hook:
+                self._on_check(engine)
+            if self.convergence(engine):
+                return True
+            current = engine.counts_by_output()
+            if current == self._auto_signature:
+                self._auto_period = min(2 * self._auto_period, cap)
+            else:
+                self._auto_signature = current
+                self._auto_period = base
+            if engine.interactions >= deadline:
+                return False
+            chunk = min(self._auto_period, deadline - engine.interactions)
+            self._at_aligned_check = chunk >= self._auto_period
+            engine.run(chunk)
 
     def result(self, *, converged: bool, wall_clock_seconds: float = 0.0) -> RunResult:
         """Build a :class:`RunResult` from the engine's current state."""
@@ -426,7 +608,7 @@ def run_protocol(
     recorders: Optional[Sequence[Recorder]] = None,
     engine_cls: EngineSpec = SequentialEngine,
     engine_kwargs: Optional[dict] = None,
-    check_every: Optional[int] = None,
+    check_every: CheckEvery = None,
     raise_on_budget: bool = False,
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
@@ -472,7 +654,9 @@ def run_protocol(
     engine_kwargs:
         Extra engine-constructor keywords (e.g. ``{"kernel": "numpy"}``).
     check_every:
-        Convergence-check period in interactions (default: ``n``).
+        Convergence-check period in interactions (default: ``n``), or
+        ``"auto"`` for the adaptive geometric back-off cadence (see
+        :class:`Simulation`).
     raise_on_budget:
         Raise :class:`~repro.errors.ConvergenceError` instead of returning
         a non-converged result.

@@ -86,6 +86,10 @@ class TransitionTable:
         self._symbols: List[str] = []
         self._symbol_ids: Dict[str, int] = {}
         self._output_ids = np.full(self._capacity, -1, dtype=np.int64)
+        # Compiled state-property vectors (see repro.engine.views), keyed by
+        # view object: array plus the number of state ids already evaluated.
+        self._views: Dict[object, np.ndarray] = {}
+        self._views_filled: Dict[object, int] = {}
 
     # ------------------------------------------------------------------
     # State registration and capacity
@@ -234,6 +238,43 @@ class TransitionTable:
             for symbol_id, symbol in enumerate(self._symbols)
             if totals[symbol_id]
         }
+
+    # ------------------------------------------------------------------
+    # State-property views
+    # ------------------------------------------------------------------
+    def view_values(self, view) -> np.ndarray:
+        """Compiled per-state property vector for ``view`` (lazily extended).
+
+        Returns the dense ``int64`` vector ``values`` with ``values[sid] ==
+        view.compile_state(decode(sid))`` for every registered state id, as
+        a slice of a cached buffer.  Like the packed transition LUT, the
+        vector is evaluated once per state id per table: the first call
+        compiles every registered state (for closure-registered protocols
+        that is the whole state space, at table-compile time), later calls
+        only the states registered since.  The hot path — one dict lookup
+        and an integer compare — makes per-check view access O(1) beyond
+        the reduction itself.
+
+        The returned slice aliases the cache: treat it as read-only.
+        """
+        size = len(self.encoder)
+        array = self._views.get(view)
+        filled = self._views_filled.get(view, 0)
+        if array is None:
+            array = np.empty(max(size, _INITIAL_CAPACITY), dtype=np.int64)
+            self._views[view] = array
+        elif array.shape[0] < size:
+            grown = np.empty(max(size, 2 * array.shape[0]), dtype=np.int64)
+            grown[:filled] = array[:filled]
+            array = grown
+            self._views[view] = grown
+        if filled < size:
+            decode = self.encoder.decode
+            compile_state = view.compile_state
+            for sid in range(filled, size):
+                array[sid] = compile_state(decode(sid))
+            self._views_filled[view] = size
+        return array[:size]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -310,3 +310,153 @@ def test_batch_engine_snapshot_round_trip():
     resumed.run(512)
     assert resumed.interactions == engine.interactions
     assert resumed.state_counts() == engine.state_counts()
+
+
+# ----------------------------------------------------------------------
+# Stateful convergence predicates across resume
+# ----------------------------------------------------------------------
+def test_stable_outputs_streak_survives_resume(tmp_path):
+    """An interrupt+resume run converges exactly where the uninterrupted
+    one does, even when the interrupt lands mid-streak: the predicate's
+    memory (last output census + streak) rides in the checkpoint."""
+    from repro.engine.convergence import StableOutputs
+    from repro.engine.simulation import run_protocol
+
+    def run(max_parallel_time, **kwargs):
+        return run_protocol(
+            OneWayEpidemic(),
+            64,
+            seed=5,
+            max_parallel_time=max_parallel_time,
+            convergence=StableOutputs(patience=3),
+            **kwargs,
+        )
+
+    full = run(40.0)
+    assert full.converged
+    # Interrupt both before any streak exists and mid-streak (the epidemic
+    # saturates within a few parallel-time units at n=64, so by cut=2.0 the
+    # streak has started but patience is not yet reached).
+    for cut in (1.0, 2.0):
+        path = tmp_path / f"stable-{cut}.ckpt"
+        interrupted = run(cut, checkpoint_every=64, checkpoint_path=path)
+        assert not interrupted.converged
+        resumed = run(40.0, checkpoint_path=path, resume=True)
+        assert resumed.converged == full.converged
+        assert resumed.interactions == full.interactions
+        assert resumed.final_counts == full.final_counts
+
+
+def test_checkpoint_ignores_predicate_state_of_different_type(tmp_path):
+    """Resuming with a different predicate type starts that predicate fresh
+    (the recorded memory is guarded by a type tag, not applied blindly)."""
+    from repro.engine.convergence import NeverConverge, StableOutputs
+    from repro.engine.simulation import run_protocol
+
+    path = tmp_path / "switch.ckpt"
+    run_protocol(
+        OneWayEpidemic(),
+        64,
+        seed=5,
+        max_parallel_time=2.0,
+        convergence=StableOutputs(patience=3),
+        checkpoint_every=64,
+        checkpoint_path=path,
+    )
+    resumed = run_protocol(
+        OneWayEpidemic(),
+        64,
+        seed=5,
+        max_parallel_time=4.0,
+        convergence=NeverConverge(),
+        checkpoint_path=path,
+        resume=True,
+    )
+    assert not resumed.converged
+    assert resumed.interactions == 4 * 64
+
+
+def test_adaptive_cadence_resume_is_bit_exact(tmp_path):
+    """check_every="auto": the cadence controller (period + census
+    signature) rides in the checkpoint and checkpoints are only written at
+    checks on the run's natural chunk grid (a budget-clipped final check is
+    an artifact of the shorter budget — a longer run never visits that
+    configuration), so interrupt+resume reproduces the uninterrupted run
+    byte-for-byte even for budget cuts that fall mid-period."""
+    from repro.engine.simulation import run_protocol
+
+    def run(max_parallel_time, **kwargs):
+        return run_protocol(
+            SlowLeaderElection(),
+            1024,
+            seed=11,
+            engine_cls="fastbatch",
+            engine_kwargs={"kernel": "numpy"},
+            check_every="auto",
+            max_parallel_time=max_parallel_time,
+            **kwargs,
+        )
+
+    full = run(60.0)
+    for cut in (10.0, 17.3):  # aligned and deliberately mid-period cuts
+        path = tmp_path / f"auto-{cut}.ckpt"
+        run(cut, checkpoint_every=1024, checkpoint_path=path)
+        resumed = run(60.0, checkpoint_path=path, resume=True)
+        assert resumed.converged == full.converged
+        assert resumed.interactions == full.interactions
+        assert resumed.final_counts == full.final_counts
+
+
+def test_fixed_cadence_resume_bit_exact_at_clipped_cut(tmp_path):
+    """Fixed cadences have the same clipped-final-check hazard as "auto":
+    a budget cut that falls off the check grid must not leave a checkpoint
+    at the clipped check (the longer run never visits that configuration).
+    Pinned with a deliberately mid-period cut."""
+    from repro.core.protocol import GSULeaderElection
+    from repro.engine.simulation import run_protocol
+
+    def run(max_parallel_time, **kwargs):
+        return run_protocol(
+            GSULeaderElection.for_population(512),
+            512,
+            seed=7,
+            engine_cls="fastbatch",
+            engine_kwargs={"kernel": "numpy"},
+            check_every=512,
+            max_parallel_time=max_parallel_time,
+            **kwargs,
+        )
+
+    full = run(30.0)
+    for cut in (17.0, 17.3):  # aligned and mid-period cuts
+        path = tmp_path / f"fixed-{cut}.ckpt"
+        run(cut, checkpoint_every=50, checkpoint_path=path)
+        resumed = run(30.0, checkpoint_path=path, resume=True)
+        assert resumed.interactions == full.interactions
+        assert resumed.final_counts == full.final_counts
+
+
+def test_fixed_cadence_resume_does_not_inherit_auto_controller(tmp_path):
+    """Resuming an auto-cadence checkpoint under an explicit fixed cadence
+    must not carry the recorded controller into its own checkpoints as
+    stale state."""
+    from repro.engine.simulation import Simulation, run_protocol
+
+    path = tmp_path / "auto.ckpt"
+    run_protocol(
+        OneWayEpidemic(),
+        64,
+        seed=5,
+        max_parallel_time=4.0,
+        check_every="auto",
+        checkpoint_every=16,
+        checkpoint_path=path,
+    )
+    from repro.experiments.io import read_checkpoint
+
+    assert read_checkpoint(path)["auto_cadence"] is not None
+    resumed = Simulation.from_checkpoint(
+        OneWayEpidemic(), path, check_every=64
+    )
+    resumed.run(max_parallel_time=6.0)
+    assert resumed.checkpoint_payload()["auto_cadence"] is None

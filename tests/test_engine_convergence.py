@@ -172,3 +172,27 @@ def test_run_protocol_convergence_on_count_engines(engine_cls):
     )
     assert result.converged is True
     assert result.leader_count == 1
+
+
+def test_stable_outputs_state_snapshot_round_trip():
+    engine = SequentialEngine(SlowLeaderElection(), 8, rng=3)
+    predicate = StableOutputs(patience=3)
+    predicate(engine)
+    predicate(engine)
+    payload = predicate.state_snapshot()
+    fresh = StableOutputs(patience=3)
+    fresh.state_restore(payload)
+    # The restored predicate continues the streak where the original left it.
+    assert fresh(engine) is False
+    assert fresh(engine) is True
+
+
+def test_stateless_predicates_have_no_snapshot_state():
+    for predicate in (NeverConverge(), SingleLeader(), AllAgentsSatisfy(lambda s: True)):
+        assert predicate.state_snapshot() is None
+        predicate.state_restore({})  # must be a safe no-op
+
+
+def test_all_agents_satisfy_declares_its_view():
+    predicate = AllAgentsSatisfy(lambda state: True, description="always")
+    assert len(predicate.views) == 1

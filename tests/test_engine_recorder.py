@@ -165,3 +165,25 @@ def test_recorders_through_simulation_driver_on_count_engines(engine_cls):
     assert len(recorder.times) == 9
     informed = [counts.get("F", 0) for counts in recorder.counts]
     assert all(total == n for total in informed)  # epidemic outputs are all F
+
+
+def test_metric_recorder_preserves_native_value_types():
+    """An integer-valued metric must record ints (not 32 -> 32.0)."""
+    engine = _engine()
+    recorder = MetricRecorder(metric=lambda eng: eng.count_of("L"), name="leaders")
+    recorder.record(engine)
+    assert recorder.last() == 32
+    assert type(recorder.last()) is int
+    ratio = MetricRecorder(metric=lambda eng: eng.count_of("L") / eng.n, name="frac")
+    ratio.record(engine)
+    assert type(ratio.last()) is float
+
+
+def test_metric_recorder_unwraps_numpy_scalars():
+    import numpy as np
+
+    engine = _engine()
+    recorder = MetricRecorder(metric=lambda eng: np.int64(7), name="seven")
+    recorder.record(engine)
+    assert recorder.last() == 7
+    assert type(recorder.last()) is int

@@ -18,8 +18,11 @@ Two entry points:
   epidemic, plus the GSU19 count-space section (exact engines at
   ``n ∈ {10^6, 10^7}`` on the headline protocol, reachable closure
   registered — the numbers behind the dispatcher's occupied-frontier cost
-  model); writes the machine-readable ``BENCH_engine.json`` at the repo
-  root so the performance trajectory is tracked PR over PR.  The GSU19
+  model; ``countbatch`` through the compiled count kernel and
+  ``countbatch-python`` on the portable path, plus a kernel-only
+  ``countbatch`` cell at ``n = 10^9``); writes the machine-readable
+  ``BENCH_engine.json`` at the repo root so the performance trajectory is
+  tracked PR over PR.  The GSU19
   section pays the one-time ~45 s closure BFS; skip it with
   ``--no-gsu19``.  ``--observed`` adds the observation-pipeline section:
   observed-vs-unobserved GSU19 throughput with the ``SingleLeader``
@@ -51,6 +54,7 @@ import pytest
 
 from repro.core.protocol import GSULeaderElection
 from repro.engine._ckernel import kernel_available
+from repro.engine._count_kernel import count_kernel_available
 from repro.engine.base import BaseEngine
 from repro.engine.batch_engine import BatchEngine
 from repro.engine.count_batch import CountBatchEngine
@@ -69,6 +73,14 @@ def _fastbatch_numpy(protocol, n, rng=None) -> FastBatchEngine:
 
 
 _fastbatch_numpy.exact = True  # type: ignore[attr-defined]
+
+
+def _countbatch_python(protocol, n, rng=None) -> CountBatchEngine:
+    """CountBatchEngine pinned to the pure-Python path (count kernel off)."""
+    return CountBatchEngine(protocol, n, rng, kernel="python")
+
+
+_countbatch_python.exact = True  # type: ignore[attr-defined]
 
 #: All engines, in ablation order (the sequential reference first).  The
 #: batched engine appears twice: once with whatever hot path dispatch would
@@ -270,6 +282,7 @@ def run_ablation(
 _GSU19_ENGINES: Dict[str, Type[BaseEngine]] = {
     "sequential": SequentialEngine,
     "countbatch": CountBatchEngine,
+    "countbatch-python": _countbatch_python,  # type: ignore[dict-item]
     "fastbatch": FastBatchEngine,
     "fastbatch-numpy": _fastbatch_numpy,  # type: ignore[dict-item]
 }
@@ -277,7 +290,16 @@ _GSU19_ENGINES: Dict[str, Type[BaseEngine]] = {
 #: GSU19 section sizes: 10^6 (all per-agent engines comfortable) and 10^7
 #: (the headline tier's fast-batch point; 10^8 — where auto forces the
 #: count engine — is a day-scale run and is documented rather than timed).
+#: The ``countbatch`` row runs the compiled count kernel where available
+#: and ``countbatch-python`` pins the portable path, so the JSON tracks the
+#: kernel's speedup PR over PR.
 _GSU19_SIZES = (10**6, 10**7)
+
+#: Count-space-only sizes: past ~10^8 the per-agent engines need gigabytes
+#: and minutes-scale construction, and the Python count path's 2n-interaction
+#: warm-up alone would take minutes — only the kernel-backed ``countbatch``
+#: row is timed there (the tier the ``extreme`` preset scales from).
+_GSU19_KERNEL_SIZES = (10**9,)
 
 
 def _gsu19_at_scale(n: int) -> GSULeaderElection:
@@ -307,6 +329,7 @@ def run_gsu19_ablation(
     sizes: Sequence[int] = _GSU19_SIZES,
     rounds: int = 3,
     base_interactions: int = 4_000_000,
+    kernel_sizes: Sequence[int] = (),
 ) -> dict:
     """Measure the exact engines on the headline GSU19 protocol.
 
@@ -317,14 +340,21 @@ def run_gsu19_ablation(
     fresh engine before the timed window — GSU19's occupied frontier grows
     from 1 to dozens of states over the first rounds and the steady-state
     frontier is what the dispatcher's cost model is calibrated against.
+
+    ``kernel_sizes`` adds count-space-only cells where just the
+    kernel-backed ``countbatch`` engine is timed (see
+    ``_GSU19_KERNEL_SIZES``); the 2n-interaction warm-up alone makes every
+    other engine impractical there.
     """
     results: List[dict] = []
     factory = _gsu19_at_scale
-    for n in sizes:
+    cells = [(n, _GSU19_ENGINES) for n in sizes]
+    cells += [(n, {"countbatch": CountBatchEngine}) for n in kernel_sizes]
+    for n, engines in cells:
         factory(n).reachable_state_closure()  # one-time BFS outside timings
         budget = min(4 * n, base_interactions)
         warmup = 2 * n
-        for name, engine_cls in _GSU19_ENGINES.items():
+        for name, engine_cls in engines.items():
             constructs: List[float] = []
             run_seconds: List[float] = []
             occupied = 0
@@ -361,11 +391,15 @@ def run_gsu19_ablation(
                 "after a 2-parallel-time warm-up)",
                 "rounds": rounds,
                 "c_kernel_available": kernel_available(),
+                "count_kernel_available": count_kernel_available(),
                 "note": (
                     "reachable closure registered (computed once per "
                     "calibration); occupied_states is the frontier at the "
                     "end of the timed window — the quantity the auto "
-                    "dispatcher's count-batch cost model keys on"
+                    "dispatcher's count-batch cost model keys on; "
+                    "'countbatch' runs the compiled count kernel where "
+                    "count_kernel_available, 'countbatch-python' pins the "
+                    "portable path"
                 ),
             },
             "results": results,
@@ -537,9 +571,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # The GSU19 section respects --sizes: a quick small-size smoke must not
     # silently pay the tier's closure BFS and 10^7-agent warm-ups.
     gsu19_sizes = tuple(n for n in _GSU19_SIZES if n <= max(args.sizes))
-    if not args.no_gsu19 and gsu19_sizes:
+    # The count-space-only cells ride along with the full-size run (their
+    # n is count-space scale, far past any sensible --sizes override) and
+    # additionally require the compiled count kernel: the Python path's
+    # 2n-interaction warm-up at 10^9 would take minutes per round and
+    # measure nothing the smaller cells don't.
+    gsu19_kernel_sizes = (
+        _GSU19_KERNEL_SIZES if max(args.sizes) >= max(_GSU19_SIZES) else ()
+    )
+    if gsu19_kernel_sizes and not count_kernel_available():
+        print(
+            "count-space-only GSU19 cells skipped: compiled count kernel "
+            "unavailable",
+            file=sys.stderr,
+        )
+        gsu19_kernel_sizes = ()
+    if not args.no_gsu19 and (gsu19_sizes or gsu19_kernel_sizes):
         document.update(
-            run_gsu19_ablation(sizes=gsu19_sizes, rounds=max(2, args.rounds - 2))
+            run_gsu19_ablation(
+                sizes=gsu19_sizes,
+                rounds=max(2, args.rounds - 2),
+                kernel_sizes=gsu19_kernel_sizes,
+            )
         )
     observed_sizes = tuple(n for n in _OBSERVED_SIZES if n <= max(args.sizes))
     if args.observed:

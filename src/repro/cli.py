@@ -9,16 +9,19 @@ Run the reproduction experiments from a terminal::
 
 The ``--preset`` option selects one of the
 :class:`~repro.experiments.config.ExperimentConfig` presets (``smoke``,
-``default``, ``large``, ``headline``); individual sweep parameters can be
-overridden with ``--sizes``, ``--repetitions`` and ``--budget``.
-``--engine`` picks the simulation engine (``sequential``, ``count``,
-``countbatch``, ``fastbatch``, ``batch``) or ``auto`` to dispatch on
-population size — see the engine selection guide in :mod:`repro.engine`.
-The ``headline`` preset is the ``n = 10^7``/``10^8`` GSU19 scenario tier on
-``auto`` dispatch (count-space simulation at ``10^8``; hours-to-days of
-wall clock)::
+``default``, ``large``, ``headline``, ``extreme``); individual sweep
+parameters can be overridden with ``--sizes``, ``--repetitions`` and
+``--budget``.  ``--engine`` picks the simulation engine (``sequential``,
+``count``, ``countbatch``, ``fastbatch``, ``batch``) or ``auto`` to
+dispatch on population size — see the engine selection guide in
+:mod:`repro.engine`.  The ``headline`` preset is the ``n = 10^7``/``10^8``
+GSU19 scenario tier on ``auto`` dispatch (count-space simulation at
+``10^8``; hours-to-days of wall clock); ``extreme`` is the trillion-agent
+count-space tier (``n = 10^12`` through the compiled count kernel, under
+1 GiB peak memory)::
 
     python -m repro.cli run table1 --preset headline
+    python -m repro.cli run table1 --preset extreme --budget 5
 
 Long campaigns are made restartable with the on-disk experiment store:
 ``--store DIR`` persists every completed experiment under a content hash of
@@ -49,6 +52,7 @@ _PRESETS = {
     "default": ExperimentConfig.default,
     "large": ExperimentConfig.large,
     "headline": ExperimentConfig.headline,
+    "extreme": ExperimentConfig.extreme,
 }
 
 

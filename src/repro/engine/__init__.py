@@ -32,13 +32,22 @@ Five engines are provided:
   distribution**, ``O(k)`` memory: simulates over state counts only,
   processing collision-free runs of ``Θ(sqrt(n))`` interactions per
   hypergeometric update whose cost follows the *occupied* state frontier
-  (Berenbrink et al.-style batching).  The engine for ``n = 10^7``–``10^8``
-  population sizes, where per-agent arrays are slow (cache misses) or
+  (Berenbrink et al.-style batching).  With a C compiler the whole
+  occupied-frontier loop runs in a compiled count kernel
+  (:mod:`repro.engine._count_kernel`) that executes many batches per call
+  on its own ``xoshiro256++`` stream — tens of times the Python path's
+  throughput, and exact hypergeometric samplers without NumPy's ``10^9``
+  operand cap carry it to ``n = 10^12`` and beyond (engine-validated
+  bound: ``count_batch.MAX_EXACT_N = 2^53``).  The engine for
+  ``n >= 10^7``, where per-agent arrays are slow (cache misses) or
   impossible (memory).  Requires a *count-capable* protocol at scale: an
   ``O(k)`` ``initial_counts`` (the O(n) configuration fallback is refused
   at ``n >= 10^7``) and — for auto dispatch — a finite
   ``canonical_states`` (GSU19 declares its reachable-state closure, see
-  :mod:`repro.engine.closure`).
+  :mod:`repro.engine.closure`).  The kernel and Python paths are equal in
+  distribution but consume randomness differently, so each carries its own
+  trajectory-digest pins; ``CountBatchEngine(..., kernel="python")`` pins
+  the portable path.
 * :class:`~repro.engine.count_engine.CountEngine` — also exact, keeps only
   the multiset of states and samples one ordered pair per step.  The
   easiest-to-audit configuration-level reference; superseded for throughput
@@ -69,10 +78,12 @@ fastbatch        exact       O(1): ~ns in the C kernel,  the in-cache workhorse
                                                          ~5*10^4 agents
 countbatch       exact in    occupied-frontier work      huge n with an O(k)
                  distribu-   amortised over sqrt(n)      count path; the
-                 tion        interactions — vanishes     n = 10^7-10^8 engine
-                             as n grows; O(k) memory     (auto: cost model
-                                                         from 3*10^6, forced
-                                                         from 3*10^7)
+                 tion        interactions — vanishes     n >= 10^7 engine, to
+                             as n grows; O(k) memory;    n = 10^12 with the
+                             compiled count kernel       count kernel (auto:
+                             with a C compiler           cost model from
+                                                         3*10^6, forced from
+                                                         3*10^7)
 count            exact in    O(k) Python, O(k) memory    auditing the count
                  distribu-                               representation; not a
                  tion                                    throughput choice

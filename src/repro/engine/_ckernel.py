@@ -10,12 +10,21 @@ the interpreter), runs at a few nanoseconds per interaction, and is
 bit-for-bit identical to both the NumPy path and
 :class:`~repro.engine.engine.SequentialEngine`.
 
-The kernel is compiled once per source digest with the system ``cc`` into a
-**user cache directory** — ``$REPRO_KERNEL_CACHE`` if set, else
-``$XDG_CACHE_HOME/repro/kernels``, else ``~/.cache/repro/kernels`` — so
-installed or packaged source trees stay clean (releases before this scheme
-built into ``src/repro/engine/_kernel_build/``, which remains gitignored for
-old checkouts).  Compilation is attempted lazily on first use and every
+This module also owns the generic cached-build machinery
+(:func:`build_library`) shared with the count-space kernel
+(:mod:`repro.engine._count_kernel`): every kernel source is compiled once
+per source digest with the system ``cc`` into a **user cache directory** —
+``$REPRO_KERNEL_CACHE`` if set, else ``$XDG_CACHE_HOME/repro/kernels``,
+else ``~/.cache/repro/kernels`` — so installed or packaged source trees
+stay clean (releases before this scheme built into
+``src/repro/engine/_kernel_build/``, which remains gitignored for old
+checkouts).  Builds happen in a **per-process temporary directory** inside
+the cache and are published with one ``os.replace`` — the same
+write-replace discipline as the atomic checkpoint writer in
+:mod:`repro.experiments.io` — so concurrent compiles (e.g. a ``run_many``
+worker pool starting cold on a shared cache) can never observe or load a
+half-written artifact; whichever build finishes last simply replaces an
+identical library.  Compilation is attempted lazily on first use and every
 failure — no compiler, sandboxed filesystem, exotic platform — silently
 falls back to the NumPy path.  Set ``REPRO_NO_C_KERNEL=1`` to force the
 fallback (the test suite uses this to pin the NumPy path's exactness).
@@ -42,7 +51,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["load_kernel", "kernel_available", "kernel_cache_dir"]
+__all__ = ["build_library", "load_kernel", "kernel_available", "kernel_cache_dir"]
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -114,24 +123,35 @@ def kernel_cache_dir() -> Path:
     return base / "repro" / "kernels"
 
 
-def _compile(build_dir: Path) -> Path:
-    digest = hashlib.sha256(_SOURCE.encode()).hexdigest()[:16]
-    lib_path = build_dir / f"repro_kernel_{digest}.so"
+def build_library(source: str, stem: str, cache_dir: Optional[Path] = None) -> Path:
+    """Compile ``source`` into a cached shared library and return its path.
+
+    The artifact name embeds a digest of the source (``{stem}_{digest}.so``),
+    so a source change compiles a fresh library and an unchanged one is a
+    single ``Path.exists`` check.  The build runs entirely inside a
+    per-process temporary directory created *within* the cache directory
+    (same filesystem, so the final ``os.replace`` publish is atomic) and the
+    temp dir is removed whatever happens — concurrent builders each work in
+    their own directory and race only on the atomic rename, never on the
+    intermediate ``.c``/``.so`` files.  Raises on any failure; callers that
+    must not raise (the kernel loaders) wrap this in their own guard.
+    """
+    cache = kernel_cache_dir() if cache_dir is None else cache_dir
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    lib_path = cache / f"{stem}_{digest}.so"
     if lib_path.exists():
         return lib_path
     compiler = shutil.which("cc") or shutil.which("gcc")
     if compiler is None:
         raise RuntimeError("no C compiler on PATH")
-    build_dir.mkdir(parents=True, exist_ok=True)
-    with tempfile.NamedTemporaryFile(
-        "w", suffix=".c", dir=build_dir, delete=False
-    ) as handle:
-        handle.write(_SOURCE)
-        c_path = handle.name
-    so_path = c_path[:-2] + ".so"
+    cache.mkdir(parents=True, exist_ok=True)
+    build_dir = Path(tempfile.mkdtemp(prefix=f".{stem}-build-", dir=cache))
     try:
+        c_path = build_dir / f"{stem}.c"
+        so_path = build_dir / f"{stem}.so"
+        c_path.write_text(source)
         subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", so_path, c_path],
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(so_path), str(c_path), "-lm"],
             check=True,
             capture_output=True,
             timeout=120,
@@ -139,11 +159,7 @@ def _compile(build_dir: Path) -> Path:
         # Atomic publish so concurrent workers never load a half-written lib.
         os.replace(so_path, lib_path)
     finally:
-        for leftover in (c_path, so_path):
-            try:
-                os.unlink(leftover)
-            except OSError:
-                pass
+        shutil.rmtree(build_dir, ignore_errors=True)
     return lib_path
 
 
@@ -160,7 +176,7 @@ def load_kernel():
     if os.environ.get("REPRO_NO_C_KERNEL"):
         return None
     try:
-        lib_path = _compile(kernel_cache_dir())
+        lib_path = build_library(_SOURCE, "repro_kernel")
         library = ctypes.CDLL(str(lib_path))
         function = library.repro_apply_block
         function.restype = ctypes.c_int64

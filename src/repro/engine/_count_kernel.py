@@ -1,0 +1,583 @@
+"""Optional C hot-path kernel for the count-space batched engine.
+
+:class:`~repro.engine.count_batch.CountBatchEngine` samples collision-free
+runs configuration-level: one survival-curve inversion for the run length,
+a cascade of hypergeometric splits for the participant/responder/pairing
+multisets, and a weighted-category draw for the colliding interaction.  At
+``n >= 3 * 10^7`` it is the *forced* engine, yet every one of those draws
+used to cross the NumPy scalar-call boundary (~1-2 us each), capping the
+GSU19 headline regime at a few million interactions per second.  The kernel
+below executes whole batches — run length, all hypergeometric splits, the
+transition-table application and the collision — in one C call against the
+shared packed LUT, so per-batch cost drops to the raw sampling arithmetic.
+
+Design notes
+============
+
+* **Own RNG stream.**  The kernel runs xoshiro256++ (public-domain
+  Blackman/Vigna generator), seeded once from the engine's NumPy generator
+  via SplitMix64 (:func:`seed_kernel_rng`).  The four 64-bit state words
+  live in a NumPy array owned by the engine, so checkpoint/restore is
+  byte-exact through the kernel path.  The kernel path therefore consumes
+  randomness differently from the Python path — equality between the two
+  holds *in distribution* (pinned by the KS cross-engine suite), exactly
+  like the CountBatch/Sequential relationship; each path carries its own
+  trajectory-digest pins.
+* **Exact samplers, no NumPy caps.**  Hypergeometric variates use the same
+  two algorithms NumPy does — explicit urn inversion when the (symmetrised)
+  sample is tiny, Stadlober's HRUA ratio-of-uniforms rejection otherwise —
+  but without ``Generator.hypergeometric``'s hard ``10^9`` operand limit:
+  population arguments are exact in ``double`` up to ``2^53``, which is the
+  engine's validated ``MAX_EXACT_N``.  This is what makes ``n = 10^12``
+  runs possible at all.
+* **Miss-restart.**  The packed transition LUT may lack a pair (lazy
+  compilation).  The kernel snapshots its RNG words at every batch start;
+  on a miss it restores them, re-zeroes its scratch writes and returns the
+  missing ``(responder, initiator)`` ids through ``miss``.  The caller
+  compiles the pair in Python (possibly growing the encoder) and re-enters;
+  the batch is then redrawn identically, so a miss costs one wasted batch
+  of arithmetic and nothing else.  ``seen`` (the ever-occupied byte mask)
+  and ``counts`` are only written at batch commit, never mid-batch, so a
+  restarted batch leaves no trace.
+
+Built through :func:`repro.engine._ckernel.build_library` — same cache
+directory, same atomic publish, same ``REPRO_NO_C_KERNEL=1`` escape hatch
+and silent fallback contract as the fast-batch kernel.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.engine._ckernel import build_library
+
+__all__ = ["load_count_kernel", "count_kernel_available", "seed_kernel_rng"]
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* ------------------------------------------------------------------ */
+/* xoshiro256++ (Blackman & Vigna, public domain)                      */
+/* ------------------------------------------------------------------ */
+static inline uint64_t xo_rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+static inline uint64_t xo_next(uint64_t *s)
+{
+    uint64_t result = xo_rotl(s[0] + s[3], 23) + s[0];
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = xo_rotl(s[3], 45);
+    return result;
+}
+
+/* Uniform double in [0, 1) with 53 random bits. */
+static inline double xo_double(uint64_t *s)
+{
+    return (double)(xo_next(s) >> 11) * (1.0 / 9007199254740992.0);
+}
+
+/* ------------------------------------------------------------------ */
+/* log(k!) -- table for small k, lgamma beyond                         */
+/* ------------------------------------------------------------------ */
+#define LOGFACT_TABLE 1024
+static double logfact_table[LOGFACT_TABLE];
+static int logfact_ready = 0;
+
+static double logfactorial(int64_t k)
+{
+    if (k < LOGFACT_TABLE) {
+        if (!logfact_ready) {
+            for (int i = 0; i < LOGFACT_TABLE; i++)
+                logfact_table[i] = lgamma((double)i + 1.0);
+            logfact_ready = 1;
+        }
+        return logfact_table[k];
+    }
+    return lgamma((double)k + 1.0);
+}
+
+/* ------------------------------------------------------------------ */
+/* Exact hypergeometric variates                                       */
+/*                                                                     */
+/* Same algorithm pair as NumPy's Generator.hypergeometric (inversion  */
+/* for a symmetrised sample < 10, Stadlober's HRUA otherwise), but     */
+/* valid for any operands exact in double (<= 2^53) instead of NumPy's */
+/* 10^9 operand cap.                                                   */
+/* ------------------------------------------------------------------ */
+static int64_t hyp_inversion(uint64_t *rs, int64_t good, int64_t bad,
+                             int64_t sample)
+{
+    int64_t total = good + bad;
+    int64_t computed = (sample <= total - sample) ? sample : total - sample;
+    int64_t rem_good = good;
+    int64_t rem_total = total;
+    int64_t taken = 0;
+    for (int64_t i = 0; i < computed; i++) {
+        if (rem_good == 0)
+            break;
+        if (rem_good == rem_total) {
+            taken += computed - i;
+            break;
+        }
+        if (xo_double(rs) * (double)rem_total < (double)rem_good) {
+            taken += 1;
+            rem_good -= 1;
+        }
+        rem_total -= 1;
+    }
+    return (computed == sample) ? taken : good - taken;
+}
+
+static int64_t hyp_hrua(uint64_t *rs, int64_t good, int64_t bad,
+                        int64_t sample)
+{
+    const double d1 = 1.7155277699214135; /* 2*sqrt(2/e) */
+    const double d2 = 0.8989161620588987; /* 3 - 2*sqrt(3/e) */
+    int64_t popsize = good + bad;
+    int64_t computed = (sample <= popsize - sample) ? sample
+                                                    : popsize - sample;
+    int64_t mingoodbad = (good <= bad) ? good : bad;
+    int64_t maxgoodbad = (good <= bad) ? bad : good;
+    double p = (double)mingoodbad / (double)popsize;
+    double q = (double)maxgoodbad / (double)popsize;
+    double mu = (double)computed * p;
+    double a = mu + 0.5;
+    double var = ((double)(popsize - computed) * (double)computed * p * q
+                  / ((double)popsize - 1.0));
+    double c = sqrt(var + 0.5);
+    double h = d1 * c + d2;
+    int64_t m = (int64_t)floor(
+        (double)(computed + 1)
+        * ((double)(mingoodbad + 1) / ((double)popsize + 2.0)));
+    double g = (logfactorial(m)
+                + logfactorial(mingoodbad - m)
+                + logfactorial(computed - m)
+                + logfactorial(maxgoodbad - computed + m));
+    double bound = (double)(((computed < mingoodbad) ? computed
+                                                     : mingoodbad) + 1);
+    double a16 = floor(a + 16.0 * c);
+    if (a16 < bound)
+        bound = a16;
+    int64_t k;
+    while (1) {
+        double u = xo_double(rs);
+        double v = xo_double(rs);
+        if (u <= 0.0)
+            continue; /* avoid 0/0 -> NaN at the (2^-53) edge */
+        double x = a + h * (v - 0.5) / u;
+        if (x < 0.0 || x >= bound)
+            continue;
+        k = (int64_t)floor(x);
+        double gp = (logfactorial(k)
+                     + logfactorial(mingoodbad - k)
+                     + logfactorial(computed - k)
+                     + logfactorial(maxgoodbad - computed + k));
+        double t = g - gp;
+        if ((u * (4.0 - u) - 3.0) <= t)
+            break; /* fast acceptance */
+        if (u * (u - t) >= 1.0)
+            continue; /* fast rejection */
+        if (2.0 * log(u) <= t)
+            break;
+    }
+    /* Undo the symmetry transformations. */
+    if (good > bad)
+        k = computed - k;
+    if (computed < sample)
+        k = good - k;
+    return k;
+}
+
+static int64_t hyp_draw(uint64_t *rs, int64_t good, int64_t bad,
+                        int64_t sample)
+{
+    if (good <= 0)
+        return 0;
+    if (bad <= 0)
+        return sample;
+    if (sample >= 10 && good + bad - sample >= 10)
+        return hyp_hrua(rs, good, bad, sample);
+    return hyp_inversion(rs, good, bad, sample);
+}
+
+/* Draw a state id with probability proportional to
+ * weights[id] - (sub ? sub[id] : 0), minus one agent at `exclude`
+ * (ordered-pair second member without replacement).  One uniform; the
+ * cumulative walk visits only the `ids` list, like the Python path's
+ * occupied-compacted _sample_multiset. */
+static int64_t pick_state(uint64_t *rs, const int64_t *weights,
+                          const int64_t *sub, const int64_t *ids,
+                          int64_t nids, int64_t total, int64_t exclude)
+{
+    double target = xo_double(rs) * (double)total;
+    double acc = 0.0;
+    int64_t last = -1;
+    for (int64_t idx = 0; idx < nids; idx++) {
+        int64_t sid = ids[idx];
+        int64_t w = weights[sid] - (sub ? sub[sid] : 0);
+        if (sid == exclude)
+            w -= 1;
+        if (w <= 0)
+            continue;
+        last = sid;
+        acc += (double)w;
+        if (target < acc)
+            return sid;
+    }
+    return last; /* float round-off guard */
+}
+
+/* Advance the count-space batched simulation by up to `budget`
+ * interactions.
+ *
+ * counts       : per-state-id agent counts, length >= k (mutated at
+ *                batch commits only)
+ * k            : number of registered state ids (encoder length)
+ * n            : population size
+ * budget       : interaction budget for this call
+ * neg_survival : -P(L >= j+1) ascending, length jmax (see CountBatchEngine)
+ * jmax         : survival-curve truncation length
+ * lut          : flattened (cap x cap) packed transition table; entry
+ *                r*cap + i holds (new_r << 32) | new_i or < 0 if the pair
+ *                is not compiled yet
+ * cap          : side length of the lookup table
+ * rng          : 4 xoshiro256++ state words (mutated)
+ * seen         : byte mask over state ids (length >= k); outputs of every
+ *                committed transition are marked 1
+ * scratch      : 9*k int64 workspace.  The five weight regions (first
+ *                5*k entries) must be all-zero on entry and are restored
+ *                to zero on exit; the four id-list regions are plain
+ *                scratch
+ * miss         : out: the uncompiled (responder, initiator) pair that
+ *                stopped the call, or (-1, -1)
+ *
+ * Returns the number of interactions applied (commits are all-or-nothing
+ * per batch; a miss rolls the batch back fully, including the RNG).
+ */
+int64_t repro_count_batches(
+    int64_t *counts,
+    int64_t k,
+    int64_t n,
+    int64_t budget,
+    const double *neg_survival,
+    int64_t jmax,
+    const int64_t *lut,
+    int64_t cap,
+    uint64_t *rng,
+    uint8_t *seen,
+    int64_t *scratch,
+    int64_t *miss)
+{
+    int64_t *involved = scratch;
+    int64_t *responders = scratch + k;
+    int64_t *remaining_i = scratch + 2 * k;
+    int64_t *row = scratch + 3 * k;
+    int64_t *used = scratch + 4 * k;
+    int64_t *occ = scratch + 5 * k;
+    int64_t *inv_occ = scratch + 6 * k;
+    int64_t *resp_occ = scratch + 7 * k;
+    int64_t *used_occ = scratch + 8 * k;
+
+    int64_t applied = 0;
+    miss[0] = -1;
+    miss[1] = -1;
+
+    while (applied < budget) {
+        /* Batch-start RNG snapshot: a LUT miss rolls the batch back. */
+        uint64_t s0 = rng[0], s1 = rng[1], s2 = rng[2], s3 = rng[3];
+
+        /* 1. Collision-free run length by survival-curve inversion
+         * (matches np.searchsorted(neg_survival, -u, side="right")). */
+        double neg_u = -xo_double(rng);
+        int64_t lo = 0, hi = jmax;
+        while (lo < hi) {
+            int64_t mid = (lo + hi) >> 1;
+            if (neg_survival[mid] <= neg_u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        int64_t length = (lo < 1) ? 1 : lo;
+        int collide = length < jmax;
+        int64_t remaining = budget - applied;
+        if (length >= remaining) {
+            length = remaining;
+            collide = 0;
+        }
+
+        /* Occupied frontier (ascending ids, like np.flatnonzero). */
+        int64_t nocc = 0;
+        for (int64_t sid = 0; sid < k; sid++)
+            if (counts[sid] > 0)
+                occ[nocc++] = sid;
+
+        /* 2. Participant multiset: involved ~ MVH(counts, 2L), by
+         * sequential conditional hypergeometric splits. */
+        int64_t ninv = 0;
+        int64_t m = 2 * length;
+        int64_t total = n;
+        for (int64_t idx = 0; idx < nocc && m > 0; idx++) {
+            int64_t sid = occ[idx];
+            int64_t color = counts[sid];
+            int64_t rest = total - color;
+            int64_t drawn = (rest == 0) ? m : hyp_draw(rng, color, rest, m);
+            if (drawn > 0) {
+                involved[sid] = drawn;
+                inv_occ[ninv++] = sid;
+                m -= drawn;
+            }
+            total = rest;
+        }
+
+        /* Responder split: responders ~ MVH(involved, L). */
+        int64_t nresp = 0;
+        m = length;
+        total = 2 * length;
+        for (int64_t idx = 0; idx < ninv && m > 0; idx++) {
+            int64_t sid = inv_occ[idx];
+            int64_t color = involved[sid];
+            int64_t rest = total - color;
+            int64_t drawn = (rest == 0) ? m : hyp_draw(rng, color, rest, m);
+            if (drawn > 0) {
+                responders[sid] = drawn;
+                resp_occ[nresp++] = sid;
+                m -= drawn;
+            }
+            total = rest;
+        }
+
+        for (int64_t idx = 0; idx < ninv; idx++) {
+            int64_t sid = inv_occ[idx];
+            remaining_i[sid] = involved[sid] - responders[sid];
+        }
+        int64_t rem_total = length;
+
+        /* 3. Pairing rows -> post-state multiset `used` via the LUT. */
+        int64_t nused = 0;
+        int missed = 0;
+        int64_t miss_r = -1, miss_i = -1;
+        for (int64_t ridx = 0; ridx < nresp && !missed; ridx++) {
+            int64_t a = resp_occ[ridx];
+            int64_t slots = responders[a];
+            const int64_t *rowp;
+            int row_is_tmp = 0;
+            if (ridx == nresp - 1) {
+                /* Final responder state takes the whole remaining
+                 * initiator pool -- deterministic, no draw. */
+                rowp = remaining_i;
+            } else {
+                m = slots;
+                total = rem_total;
+                for (int64_t idx = 0; idx < ninv && m > 0; idx++) {
+                    int64_t sid = inv_occ[idx];
+                    int64_t color = remaining_i[sid];
+                    if (color <= 0)
+                        continue;
+                    int64_t rest = total - color;
+                    int64_t drawn =
+                        (rest == 0) ? m : hyp_draw(rng, color, rest, m);
+                    row[sid] = drawn;
+                    m -= drawn;
+                    total = rest;
+                }
+                rowp = row;
+                row_is_tmp = 1;
+            }
+            const int64_t *lut_row = lut + a * cap;
+            for (int64_t idx = 0; idx < ninv; idx++) {
+                int64_t b = inv_occ[idx];
+                int64_t mult = rowp[b];
+                if (mult <= 0)
+                    continue;
+                int64_t packed = lut_row[b];
+                if (packed < 0) {
+                    missed = 1;
+                    miss_r = a;
+                    miss_i = b;
+                    break;
+                }
+                int64_t new_r = packed >> 32;
+                int64_t new_i = packed & 0xFFFFFFFF;
+                if (used[new_r] == 0)
+                    used_occ[nused++] = new_r;
+                used[new_r] += mult;
+                if (used[new_i] == 0)
+                    used_occ[nused++] = new_i;
+                used[new_i] += mult;
+            }
+            if (row_is_tmp) {
+                for (int64_t idx = 0; idx < ninv; idx++) {
+                    int64_t sid = inv_occ[idx];
+                    if (!missed)
+                        remaining_i[sid] -= row[sid];
+                    row[sid] = 0;
+                }
+                rem_total -= slots;
+            }
+        }
+
+        /* 4. Colliding interaction, sampled *before* the commit: the
+         * fresh pool's weights are counts - involved, identical to the
+         * Python path's post-commit (counts - used). */
+        int64_t coll_or = -1, coll_oi = -1, coll_nr = -1, coll_ni = -1;
+        if (!missed && collide) {
+            int64_t used_total = 2 * length;
+            int64_t fresh_total = n - used_total;
+            double wuf = (double)used_total * (double)fresh_total;
+            double wuu = (double)used_total * ((double)used_total - 1.0);
+            double pick = xo_double(rng) * (2.0 * wuf + wuu);
+            if (pick < wuf) {
+                coll_or = pick_state(rng, used, 0, used_occ, nused,
+                                     used_total, -1);
+                coll_oi = pick_state(rng, counts, involved, occ, nocc,
+                                     fresh_total, -1);
+            } else if (pick < 2.0 * wuf) {
+                coll_or = pick_state(rng, counts, involved, occ, nocc,
+                                     fresh_total, -1);
+                coll_oi = pick_state(rng, used, 0, used_occ, nused,
+                                     used_total, -1);
+            } else {
+                coll_or = pick_state(rng, used, 0, used_occ, nused,
+                                     used_total, -1);
+                coll_oi = pick_state(rng, used, 0, used_occ, nused,
+                                     used_total - 1, coll_or);
+            }
+            int64_t packed = lut[coll_or * cap + coll_oi];
+            if (packed < 0) {
+                missed = 1;
+                miss_r = coll_or;
+                miss_i = coll_oi;
+            } else {
+                coll_nr = packed >> 32;
+                coll_ni = packed & 0xFFFFFFFF;
+            }
+        }
+
+        if (missed) {
+            /* Full rollback: RNG, scratch.  counts/seen were untouched. */
+            rng[0] = s0;
+            rng[1] = s1;
+            rng[2] = s2;
+            rng[3] = s3;
+            for (int64_t idx = 0; idx < ninv; idx++) {
+                int64_t sid = inv_occ[idx];
+                involved[sid] = 0;
+                responders[sid] = 0;
+                remaining_i[sid] = 0;
+            }
+            for (int64_t idx = 0; idx < nused; idx++)
+                used[used_occ[idx]] = 0;
+            miss[0] = miss_r;
+            miss[1] = miss_i;
+            return applied;
+        }
+
+        /* 5. Commit. */
+        for (int64_t idx = 0; idx < ninv; idx++) {
+            int64_t sid = inv_occ[idx];
+            counts[sid] -= involved[sid];
+            involved[sid] = 0;
+            responders[sid] = 0;
+            remaining_i[sid] = 0;
+        }
+        for (int64_t idx = 0; idx < nused; idx++) {
+            int64_t sid = used_occ[idx];
+            counts[sid] += used[sid];
+            used[sid] = 0;
+            seen[sid] = 1;
+        }
+        applied += length;
+        if (collide) {
+            counts[coll_or] -= 1;
+            counts[coll_nr] += 1;
+            counts[coll_oi] -= 1;
+            counts[coll_ni] += 1;
+            seen[coll_nr] = 1;
+            seen[coll_ni] = 1;
+            applied += 1;
+        }
+    }
+    return applied;
+}
+"""
+
+_kernel: Optional[ctypes.CFUNCTYPE] = None
+_load_attempted = False
+
+_MASK64 = (1 << 64) - 1
+
+
+def seed_kernel_rng(rng) -> np.ndarray:
+    """Four xoshiro256++ state words derived from a NumPy generator.
+
+    One 64-bit draw from ``rng`` is expanded through SplitMix64 (the
+    seeding scheme the xoshiro authors recommend), so the kernel stream is
+    a deterministic function of the engine seed while the NumPy stream
+    advances by exactly one draw — and only when the kernel is active, so
+    the Python fallback path's stream (and its digest pins) are untouched.
+    """
+    x = int(rng.integers(0, 2**64, dtype=np.uint64))
+    words = np.empty(4, dtype=np.uint64)
+    for i in range(4):
+        x = (x + 0x9E3779B97F4A7C15) & _MASK64
+        z = x
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        words[i] = (z ^ (z >> 31)) & _MASK64
+    if not words.any():  # pragma: no cover - probability 2^-256
+        words[0] = 1
+    return words
+
+
+def load_count_kernel():
+    """The compiled count-batch function, or ``None`` when unavailable.
+
+    Same contract as :func:`repro.engine._ckernel.load_kernel`: lazy, cached,
+    never raises, honours ``REPRO_NO_C_KERNEL=1``.
+    """
+    global _kernel, _load_attempted
+    if _load_attempted:
+        return _kernel
+    _load_attempted = True
+    if os.environ.get("REPRO_NO_C_KERNEL"):
+        return None
+    try:
+        lib_path = build_library(_SOURCE, "repro_count_kernel")
+        library = ctypes.CDLL(str(lib_path))
+        function = library.repro_count_batches
+        function.restype = ctypes.c_int64
+        function.argtypes = [
+            ctypes.c_void_p,  # counts
+            ctypes.c_int64,  # k
+            ctypes.c_int64,  # n
+            ctypes.c_int64,  # budget
+            ctypes.c_void_p,  # neg_survival
+            ctypes.c_int64,  # jmax
+            ctypes.c_void_p,  # lut
+            ctypes.c_int64,  # cap
+            ctypes.c_void_p,  # rng
+            ctypes.c_void_p,  # seen
+            ctypes.c_void_p,  # scratch
+            ctypes.c_void_p,  # miss
+        ]
+        _kernel = function
+    except Exception:
+        _kernel = None
+    return _kernel
+
+
+def count_kernel_available() -> bool:
+    """Whether the compiled count-batch hot path can be used here."""
+    return load_count_kernel() is not None

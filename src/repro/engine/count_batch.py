@@ -66,17 +66,43 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.engine._count_kernel import load_count_kernel, seed_kernel_rng
 from repro.engine.base import BaseEngine
 from repro.engine.count_engine import initial_count_items, sample_weighted_index
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
+from repro.errors import ConfigurationError, ProtocolError
 
-__all__ = ["CountBatchEngine"]
+__all__ = ["CountBatchEngine", "MAX_EXACT_N"]
 
 #: Survival-curve truncation: beyond ``_SURVIVAL_SPAN * sqrt(n)`` pairs the
 #: all-distinct probability is ~1e-30; conditioning on reaching the cap and
 #: re-anchoring there keeps the scheme exact (see the module docstring).
 _SURVIVAL_SPAN = 8.5
+
+#: Hard cap on the precomputed survival curve's length.  At ``n = 10^12``
+#: the ``8.5 sqrt(n)`` span would be ~8.5M entries already; near
+#: ``MAX_EXACT_N`` it would be ~810M entries (6.5 GB).  Truncating earlier
+#: is *exact* for the same conditioning/re-anchoring reason as the span
+#: truncation — a run cut short by the cap owes no collision — it merely
+#: shortens the expected batch, so the cap only matters above ``n ~ 10^12``
+#: where batches are millions of interactions either way.
+_SURVIVAL_MAX_LEN = 1 << 23
+
+#: Largest supported population size.  Every sampler in the engine (and in
+#: the C kernel) manipulates counts through IEEE doubles — survival-curve
+#: terms ``2j/n``, hypergeometric operands, cumulative multiset walks — so
+#: exactness requires every integer in ``[0, n]`` to be representable:
+#: ``n <= 2^53``.  (Counts themselves stay well inside int64.)  Beyond this
+#: the engine refuses to construct rather than silently degrade.
+MAX_EXACT_N = 2**53
+
+#: NumPy's ``Generator.hypergeometric`` raises once ``ngood`` or ``nbad``
+#: reaches 10^9 (and ``multivariate_hypergeometric`` refuses a total of
+#: 10^9): below the cap the engine uses NumPy's samplers (keeping the
+#: RNG stream — and the trajectory-digest pins — unchanged), at or above
+#: it the pure-Python equivalents below take over.
+_NUMPY_HYPERGEOMETRIC_CAP = 10**9
 
 #: Occupied-state count above which a multivariate hypergeometric draw
 #: switches from the scalar sequential-conditional decomposition (~1.7us per
@@ -87,6 +113,89 @@ _SURVIVAL_SPAN = 8.5
 #: decompositions sample the *same* distribution (chain rule), so the switch
 #: is invisible to every statistic; only the raw RNG stream differs.
 _MVH_SCALAR_MAX_OCCUPIED = 12
+
+
+def _logfactorial(k: int) -> float:
+    return math.lgamma(k + 1.0)
+
+
+def _hypergeometric_large(rng, good: int, bad: int, sample: int) -> int:
+    """Exact hypergeometric variate for operands beyond NumPy's 10^9 cap.
+
+    Same algorithm pair as NumPy's ``Generator.hypergeometric`` (urn
+    inversion when the symmetrised sample is < 10, Stadlober's HRUA
+    ratio-of-uniforms rejection otherwise) and the same pair the C count
+    kernel uses, implemented over ``rng.random()`` uniforms so it is valid
+    for any operands exact in float64 — i.e. up to ``MAX_EXACT_N``.  Only
+    reached when an operand is >= ``_NUMPY_HYPERGEOMETRIC_CAP``, so the
+    sub-cap RNG stream (and every existing digest pin) is untouched.
+    """
+    total = good + bad
+    computed = min(sample, total - sample)
+    if good <= 0:
+        return 0
+    if bad <= 0:
+        return sample
+    if computed < 10:
+        # Urn inversion on the symmetrised draw.
+        rem_good = good
+        rem_total = total
+        taken = 0
+        for i in range(computed):
+            if rem_good == 0:
+                break
+            if rem_good == rem_total:
+                taken += computed - i
+                break
+            if float(rng.random()) * rem_total < rem_good:
+                taken += 1
+                rem_good -= 1
+            rem_total -= 1
+        return taken if computed == sample else good - taken
+    mingoodbad = min(good, bad)
+    maxgoodbad = max(good, bad)
+    p = mingoodbad / total
+    q = maxgoodbad / total
+    mu = computed * p
+    a = mu + 0.5
+    var = (total - computed) * computed * p * q / (total - 1)
+    c = math.sqrt(var + 0.5)
+    h = 1.7155277699214135 * c + 0.8989161620588987  # 2*sqrt(2/e), 3-2*sqrt(3/e)
+    mode = int((computed + 1) * ((mingoodbad + 1) / (total + 2)))
+    g = (
+        _logfactorial(mode)
+        + _logfactorial(mingoodbad - mode)
+        + _logfactorial(computed - mode)
+        + _logfactorial(maxgoodbad - computed + mode)
+    )
+    bound = min(min(computed, mingoodbad) + 1, math.floor(a + 16.0 * c))
+    while True:
+        u = float(rng.random())
+        v = float(rng.random())
+        if u <= 0.0:
+            continue
+        x = a + h * (v - 0.5) / u
+        if x < 0.0 or x >= bound:
+            continue
+        k = int(x)
+        gp = (
+            _logfactorial(k)
+            + _logfactorial(mingoodbad - k)
+            + _logfactorial(computed - k)
+            + _logfactorial(maxgoodbad - computed + k)
+        )
+        t = g - gp
+        if u * (4.0 - u) - 3.0 <= t:
+            break
+        if u * (u - t) >= 1.0:
+            continue
+        if 2.0 * math.log(u) <= t:
+            break
+    if good > bad:
+        k = computed - k
+    if computed < sample:
+        k = good - k
+    return k
 
 
 class CountBatchEngine(BaseEngine):
@@ -103,15 +212,41 @@ class CountBatchEngine(BaseEngine):
         (the O(n) configuration fallback is refused, see
         :func:`~repro.engine.count_engine.initial_count_items`).
     n:
-        Population size (>= 2).
+        Population size (``2 <= n <= MAX_EXACT_N``).
     rng:
         Seed or :class:`numpy.random.Generator`.
+    kernel:
+        ``"auto"`` (default) uses the compiled count kernel when a C
+        compiler is available and falls back to the Python path silently;
+        ``"c"`` requires the kernel (:class:`ConfigurationError` if it
+        cannot be built); ``"python"`` pins the pure-Python path.  The two
+        paths are equal in distribution but consume randomness differently
+        (the kernel runs its own xoshiro256++ stream), so each carries its
+        own trajectory-digest pins.
     """
 
     exact = True
 
-    def __init__(self, protocol: PopulationProtocol, n: int, rng: RngLike = None) -> None:
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        n: int,
+        rng: RngLike = None,
+        *,
+        kernel: str = "auto",
+    ) -> None:
         super().__init__(protocol, n, rng)
+        if n > MAX_EXACT_N:
+            raise ProtocolError(
+                f"CountBatchEngine supports n <= 2^53 ({MAX_EXACT_N}); "
+                f"got n = {n}.  Beyond that, float64 can no longer "
+                "represent every agent count exactly and the batched "
+                "sampling would silently lose mass."
+            )
+        if kernel not in ("auto", "c", "python"):
+            raise ConfigurationError(
+                f"kernel must be 'auto', 'c' or 'python', got {kernel!r}"
+            )
         self._rng = make_rng(rng)
         counts = np.zeros(max(1, len(self.encoder)), dtype=np.int64)
         for state, count in initial_count_items(protocol, n):
@@ -121,18 +256,49 @@ class CountBatchEngine(BaseEngine):
             counts[sid] += count
         self._counts = counts
         # Precomputed negated survival curve -P(L >= j), j = 1..jmax,
-        # ascending (searchsorted-ready).  Depends only on n.
-        jmax = max(1, min(n // 2, int(_SURVIVAL_SPAN * math.sqrt(n)) + 16))
-        steps = np.arange(jmax, dtype=np.float64)
-        fresh = n - 2.0 * steps
-        log_p = (
-            np.log(fresh)
-            + np.log(fresh - 1.0)
-            - math.log(n)
-            - math.log(n - 1.0)
+        # ascending (searchsorted-ready).  Depends only on n.  The terms
+        # are computed with log1p on the *ratios* 2j/n — exact-in-float —
+        # rather than log(n - 2j), whose float64 subtraction loses integer
+        # precision once n approaches 2^53.  The _SURVIVAL_MAX_LEN cap
+        # bounds the table's memory at huge n (exact by conditioning, see
+        # the constant's docstring).
+        jmax = max(
+            1,
+            min(
+                n // 2,
+                int(_SURVIVAL_SPAN * math.sqrt(n)) + 16,
+                _SURVIVAL_MAX_LEN,
+            ),
         )
+        steps = np.arange(jmax, dtype=np.float64)
+        log_p = np.log1p(-2.0 * steps / n) + np.log1p(-2.0 * steps / (n - 1.0))
         self._neg_survival = -np.exp(np.cumsum(log_p))
         self._jmax = jmax
+        # Scalar hypergeometric entry point: NumPy's generator below its
+        # 10^9 operand cap (total <= n bounds every operand, so small-n
+        # engines keep the exact NumPy stream the digest pins record), the
+        # pure-Python samplers above it.
+        if n < _NUMPY_HYPERGEOMETRIC_CAP:
+            self._hyper = self._rng.hypergeometric
+        else:
+            self._hyper = self._hypergeometric_checked
+        # Optional compiled hot path (own RNG stream, seeded from the
+        # engine generator only when active so the Python path's stream
+        # is byte-identical to pre-kernel releases).
+        self._kernel = None
+        self._kernel_rng = None
+        self._scratch = None
+        self._seen_mask = None
+        self._miss = np.empty(2, dtype=np.int64)
+        if kernel in ("auto", "c"):
+            self._kernel = load_count_kernel()
+            if self._kernel is None and kernel == "c":
+                raise ConfigurationError(
+                    "kernel='c' requested but the count kernel is "
+                    "unavailable (no C compiler, or REPRO_NO_C_KERNEL=1)"
+                )
+            if self._kernel is not None:
+                self._kernel_rng = seed_kernel_rng(self._rng)
 
     # ------------------------------------------------------------------
     # Count bookkeeping
@@ -150,6 +316,18 @@ class CountBatchEngine(BaseEngine):
     # ------------------------------------------------------------------
     # Batched stepping
     # ------------------------------------------------------------------
+    def _hypergeometric_checked(self, good: int, bad: int, nsample: int) -> int:
+        """Scalar hypergeometric draw with width-checked promotion.
+
+        NumPy whenever both operands are below its 10^9 cap (identical
+        stream to the uncapped engines), the pure-Python exact sampler
+        beyond it.  Bound as ``self._hyper`` only when ``n`` can exceed
+        the cap, so small-``n`` engines pay no per-draw check at all.
+        """
+        if good < _NUMPY_HYPERGEOMETRIC_CAP and bad < _NUMPY_HYPERGEOMETRIC_CAP:
+            return self._rng.hypergeometric(good, bad, nsample)
+        return _hypergeometric_large(self._rng, int(good), int(bad), int(nsample))
+
     def _draw_run_length(self, remaining: int) -> Tuple[int, bool]:
         """Sample the collision-free run length, capped by ``remaining``.
 
@@ -191,7 +369,7 @@ class CountBatchEngine(BaseEngine):
         if colors.shape[0] <= _MVH_SCALAR_MAX_OCCUPIED:
             # Short dense vector (the classic 2-4 state protocols): walk it
             # directly — a flatnonzero pass would cost more than it saves.
-            hyper = self._rng.hypergeometric
+            hyper = self._hyper
             for sid, color in enumerate(colors.tolist()):
                 if m == 0:
                     break
@@ -207,12 +385,18 @@ class CountBatchEngine(BaseEngine):
                 total = rest
             return out
         occupied = np.flatnonzero(colors)
-        if occupied.shape[0] > _MVH_SCALAR_MAX_OCCUPIED:
+        if (
+            occupied.shape[0] > _MVH_SCALAR_MAX_OCCUPIED
+            and total < _NUMPY_HYPERGEOMETRIC_CAP
+        ):
+            # NumPy's vectorised marginals sampler refuses totals >= 10^9;
+            # past the cap the scalar sequential-conditional loop below
+            # (with width-checked draws) covers any occupied count.
             out[occupied] = self._rng.multivariate_hypergeometric(
                 colors[occupied], m
             )
             return out
-        hyper = self._rng.hypergeometric
+        hyper = self._hyper
         for sid in occupied.tolist():
             if m == 0:
                 break
@@ -250,8 +434,11 @@ class CountBatchEngine(BaseEngine):
             slots = int(responders[a])
             if index == last:
                 # The final responder state takes the whole remaining
-                # initiator pool — deterministic, no draw needed.
-                row = remaining_i
+                # initiator pool — deterministic, no draw needed.  Copy:
+                # returning the pool buffer itself would alias a vector
+                # this loop (and any caller reusing buffers in place, like
+                # the kernel-parity tests) may still mutate.
+                row = remaining_i.copy()
             else:
                 row = self._multivariate_hypergeometric(
                     remaining_i, slots, remaining_total
@@ -366,21 +553,96 @@ class CountBatchEngine(BaseEngine):
 
     def _perform_steps(self, count: int) -> None:
         remaining = int(count)
+        if self._kernel is None:
+            while remaining > 0:
+                remaining -= self._run_batch(remaining)
+            return
         while remaining > 0:
-            remaining -= self._run_batch(remaining)
+            remaining -= self._kernel_run(remaining)
+
+    def _kernel_run(self, budget: int) -> int:
+        """Advance up to ``budget`` interactions through the C kernel.
+
+        One ctypes call executes whole batches against the shared packed
+        LUT; an uncompiled state pair stops the call (the batch fully
+        rolled back, RNG included), is compiled here in Python — growing
+        the encoder exactly as the scalar engines would — and the next
+        call redraws the batch against the completed row.
+        """
+        self._ensure_counts()
+        k = len(self.encoder)
+        if self._scratch is None or self._scratch.shape[0] < 9 * k:
+            # Weight regions must be zero; id-list regions are plain
+            # scratch, so a fresh zeroed allocation needs no copying.
+            self._scratch = np.zeros(9 * k, dtype=np.int64)
+        if self._seen_mask is None or self._seen_mask.shape[0] < k:
+            seen = np.zeros(k, dtype=np.uint8)
+            if self._seen_mask is not None:
+                seen[: self._seen_mask.shape[0]] = self._seen_mask
+            self._seen_mask = seen
+        table = self.table
+        applied = int(
+            self._kernel(
+                self._counts.ctypes.data,
+                k,
+                self.n,
+                int(budget),
+                self._neg_survival.ctypes.data,
+                self._jmax,
+                table.packed.ctypes.data,
+                table.capacity,
+                self._kernel_rng.ctypes.data,
+                self._seen_mask.ctypes.data,
+                self._scratch.ctypes.data,
+                self._miss.ctypes.data,
+            )
+        )
+        self.interactions += applied
+        if len(self._ever_occupied) < len(self.encoder):
+            self._ever_occupied.update(
+                np.flatnonzero(self._seen_mask[:k]).tolist()
+            )
+        if self._miss[0] >= 0:
+            # Compile the missing pair (possibly registering new states);
+            # the next _kernel_run picks up the grown encoder/LUT/buffers.
+            table.apply(int(self._miss[0]), int(self._miss[1]))
+        return applied
 
     # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------
     def _state_snapshot(self) -> dict:
         # The survival curve is a pure function of n, rebuilt at
-        # construction; only the counts and the RNG position are run state.
-        return {"counts": self._counts.copy(), "rng": rng_state(self._rng)}
+        # construction; only the counts and the RNG position(s) are run
+        # state.  ``kernel_rng`` (the xoshiro256++ words) appears only for
+        # kernel-path engines, keeping Python-path snapshots byte-identical
+        # to pre-kernel releases.
+        payload = {"counts": self._counts.copy(), "rng": rng_state(self._rng)}
+        if self._kernel is not None:
+            payload["kernel_rng"] = self._kernel_rng.copy()
+        return payload
 
     def _state_restore(self, payload: dict) -> None:
         counts = np.asarray(payload["counts"], dtype=np.int64).copy()
         self._counts = self._grown(counts, len(self.encoder))
         restore_rng_state(self._rng, payload["rng"])
+        kernel_rng = payload.get("kernel_rng")
+        if kernel_rng is not None and self._kernel is not None:
+            self._kernel_rng = np.asarray(kernel_rng, dtype=np.uint64).copy()
+        elif kernel_rng is None:
+            # Pre-kernel (or Python-path) checkpoint: the recorded
+            # trajectory consumed the NumPy stream only, so continuing it
+            # byte-exactly requires the Python path.  Distributional
+            # equality is unaffected either way.
+            self._kernel = None
+            self._kernel_rng = None
+        # A kernel-path checkpoint restored where the kernel is missing
+        # (kernel_rng present, self._kernel None) continues on the Python
+        # path: exact in distribution, though not the byte-identical
+        # trajectory the original machine would have produced.
+        # Stale ever-occupied bits must not leak into the restored
+        # timeline; _ever_occupied itself was restored by the base class.
+        self._seen_mask = None
 
     # ------------------------------------------------------------------
     # Inspection

@@ -53,10 +53,26 @@ cost, evaluated at the protocol's occupied-frontier bound
 (:meth:`~repro.engine.protocol.PopulationProtocol.occupied_states_hint`,
 defaulting to the declared state-space size), against the fast-batch
 engine's measured per-interaction cost.  All constants were measured on the
-``BENCH_engine.json`` workloads and are deliberately kernel-independent:
-below the crossover every ``auto`` choice stays in the bit-for-bit
-sequential-identical engine family, so seed-pinned results agree across
-machines with and without a C compiler.
+``BENCH_engine.json`` workloads.
+
+The model is evaluated against the tier the engine would actually run:
+with the compiled count kernel (:mod:`repro.engine._count_kernel`,
+available whenever ``_ckernel``'s compiler probe succeeds) the per-batch
+cost is one C call — ~1us fixed plus ~0.13us per occupied pairing cell —
+which moves the countbatch-vs-fastbatch crossover down to
+``_COUNTBATCH_MIN_N`` for protocols whose frontier hint stays below ~30
+states.  (GSU19's *hint* — 124 states at headline calibrations — still
+prices it onto fastbatch until ``COUNTBATCH_FORCE_N``; its *realised*
+frontier is far sparser, so an explicit ``engine="countbatch"`` beats
+``auto`` by ~10x in that window on kernel machines.  The hint is a bound,
+and the model deliberately trusts it — mispricing toward the bit-exact
+engine is the safe direction.)  Below
+``_COUNTBATCH_MIN_N`` the policy stays deliberately kernel-independent:
+every ``auto`` choice there is in the bit-for-bit sequential-identical
+engine family, so seed-pinned results agree across machines with and
+without a C compiler.  (Above it, count-batch trajectories are only ever
+reproducible per-path anyway — the kernel and Python paths consume
+randomness differently, each with its own digest pins.)
 """
 
 from __future__ import annotations
@@ -65,6 +81,7 @@ import math
 from typing import Dict, Optional, Type, Union
 
 from repro.engine._ckernel import kernel_available
+from repro.engine._count_kernel import count_kernel_available
 from repro.engine.base import BaseEngine
 from repro.engine.batch_engine import BatchEngine
 from repro.engine.count_batch import _MVH_SCALAR_MAX_OCCUPIED, CountBatchEngine
@@ -158,6 +175,18 @@ _COUNTBATCH_ROW_SECONDS = 3.0e-5
 #: workloads at n >= 10^6.
 _FASTBATCH_SECONDS_PER_INTERACTION = 2.9e-8
 
+# --- compiled count-kernel tier (see repro.engine._count_kernel) --------
+#: Fixed per-batch overhead of the compiled count kernel: the ctypes call,
+#: the survival-curve inversion and the occupied-frontier scan.
+_COUNTBATCH_KERNEL_BATCH_OVERHEAD_SECONDS = 1.0e-6
+#: Per pairing cell (occupied x occupied) cost inside the kernel — a LUT
+#: lookup plus the cell's share of the hypergeometric row splits; most
+#: cells short-circuit, so this is an average (~0.13us measured on a
+#: 60-state identity workload at n = 10^7; the model mildly overestimates
+#: sparse frontiers, which only delays the countbatch switch — the safe
+#: direction).
+_COUNTBATCH_KERNEL_CELL_SECONDS = 1.3e-7
+
 
 def state_space_size(protocol: PopulationProtocol) -> Optional[int]:
     """Number of canonical states the protocol declares, or ``None``.
@@ -177,14 +206,27 @@ def state_space_size(protocol: PopulationProtocol) -> Optional[int]:
         return sum(1 for _ in canonical)
 
 
-def countbatch_batch_seconds(occupied: int) -> float:
+def countbatch_batch_seconds(occupied: int, kernel: Optional[bool] = None) -> float:
     """Modelled cost of one count-batch update at an occupied frontier.
 
-    Piecewise in the frontier size with the breakpoint imported from the
-    engine itself (``count_batch._MVH_SCALAR_MAX_OCCUPIED``), so model and
-    engine switch paths at the same frontier; constants measured on the
+    ``kernel`` selects the compiled-count-kernel tier (quadratic in the
+    frontier with a ~13x smaller cell constant and a ~27x smaller fixed
+    overhead than the Python path); ``None`` probes
+    :func:`~repro.engine._count_kernel.count_kernel_available`, matching
+    what ``CountBatchEngine(kernel="auto")`` will actually run.  The
+    Python-path model is piecewise in the frontier size with the
+    breakpoint imported from the engine itself
+    (``count_batch._MVH_SCALAR_MAX_OCCUPIED``), so model and engine switch
+    paths at the same frontier; all constants measured on the
     BENCH_engine workloads (module docstring).
     """
+    if kernel is None:
+        kernel = count_kernel_available()
+    if kernel:
+        return (
+            _COUNTBATCH_KERNEL_BATCH_OVERHEAD_SECONDS
+            + _COUNTBATCH_KERNEL_CELL_SECONDS * occupied * occupied
+        )
     if occupied <= _MVH_SCALAR_MAX_OCCUPIED:
         return (
             _COUNTBATCH_BATCH_OVERHEAD_SECONDS

@@ -12,7 +12,12 @@ structures** —
 * ``packed`` — a dense flat ``(capacity x capacity)`` ``int64`` array whose
   entry ``r * capacity + i`` holds ``(r' << 32) | i'`` (``-1`` when the pair
   has not been compiled yet), the gather target for vectorised NumPy paths
-  and the lookup table consumed directly by the C kernel —
+  and the lookup table consumed directly by *both* compiled kernels: the
+  fast-batch pair kernel (:mod:`repro.engine._ckernel`) and the count-batch
+  count kernel (:mod:`repro.engine._count_kernel`).  The kernels treat a
+  ``-1`` entry as a miss and roll their batch back so the Python side can
+  compile the pair through :meth:`TransitionTable.apply` and re-enter —
+  lazily discovered protocols therefore work unchanged on the hot paths —
 
 and the output function is memoised into vectorised output maps (state id →
 output-symbol id, plus the symbol interning tables), so configuration-level

@@ -14,7 +14,9 @@ the common uses:
 * :meth:`ExperimentConfig.headline` — the ``n = 10^7``/``10^8`` GSU19 tier
   on ``engine="auto"``: fast-batch C kernel at ``10^7``, the O(k)-memory
   configuration-space engine at ``10^8`` (hours-to-days of wall clock; one
-  seed per size).
+  seed per size),
+* :meth:`ExperimentConfig.extreme` — count-space GSU19 at ``n = 10^12``
+  through the compiled count kernel (O(k) memory, under 1 GiB peak).
 
 The configuration is a frozen dataclass on purpose: the experiment store
 (:mod:`repro.experiments.store`) hashes ``dataclasses.asdict(config)``
@@ -124,6 +126,33 @@ class ExperimentConfig:
             population_sizes=(10**7, 10**8),
             repetitions=1,
             max_parallel_time=4000.0,
+            slow_protocol_max_n=4096,
+            engine="auto",
+        )
+
+    @classmethod
+    def extreme(cls) -> "ExperimentConfig":
+        """Count-space GSU19 at ``n = 10^12`` through the compiled kernel.
+
+        The trillion-agent tier: the dispatcher forces the O(k)-memory
+        ``CountBatchEngine``, whose compiled count kernel
+        (:mod:`repro.engine._count_kernel`) executes whole collision-free
+        batches — expected length ``~0.886 sqrt(n) ~ 886k`` interactions —
+        per C call.  Peak memory stays under 1 GiB (the survival curve is
+        capped at ``2^23`` entries and the packed LUT at the closure size;
+        see ``count_batch.MAX_EXACT_N`` for the 2^53 exactness bound).
+        The parallel-time budget is deliberately small: one unit is
+        ``10^12`` interactions (~an hour at kernel throughput), and the
+        paper's phenomena at this scale are per-parallel-time-unit
+        trajectories, not long-horizon sweeps.  The weekly CI smoke runs
+        this preset with ``--sizes``/``--budget`` overrides at reduced
+        scale; without the C kernel the Python fallback path is exact but
+        ~50x slower — budget accordingly.
+        """
+        return cls(
+            population_sizes=(10**12,),
+            repetitions=1,
+            max_parallel_time=25.0,
             slow_protocol_max_n=4096,
             engine="auto",
         )

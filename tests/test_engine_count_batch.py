@@ -90,12 +90,15 @@ def test_epidemic_completes():
 
 
 def test_tiny_populations_are_exact_edges():
-    # n=2: every batch is a single forced pair of the two agents.
-    engine = CountBatchEngine(OneWayEpidemic(), 2, rng=0)
+    # n=2: every batch is a single forced pair of the two agents.  The
+    # outcome pin is seed-specific, so this exercises the Python path
+    # whose stream the seed was chosen against; the kernel path's tiny-n
+    # edges are covered in test_engine_count_kernel.py.
+    engine = CountBatchEngine(OneWayEpidemic(), 2, rng=0, kernel="python")
     engine.run(1)
     assert engine.state_counts() == {"informed": 2}
     # n=3 keeps the survival curve at a single entry as well.
-    engine = CountBatchEngine(OneWayEpidemic(), 3, rng=0)
+    engine = CountBatchEngine(OneWayEpidemic(), 3, rng=0, kernel="python")
     engine.run(50)
     assert engine.count_of("susceptible") == 0
 

@@ -285,36 +285,50 @@ def test_auto_engine_policy_with_c_kernel(monkeypatch):
     assert auto_engine(epidemic, 1 << 28) is CountBatchEngine
 
 
-def test_auto_engine_cost_model_discriminates_by_state_count():
+def test_auto_engine_cost_model_discriminates_by_state_count(monkeypatch):
     """The occupied-frontier cost model replaces the old flat 64-state cap:
     a 4-state protocol crosses over later than a 2-state one, and above the
     force threshold count-capability alone decides (per-agent construction
-    is the binding constraint there, not throughput)."""
+    is the binding constraint there, not throughput).  The model is
+    count-kernel-aware, so both tiers are pinned explicitly here: on the
+    NumPy tier a 4-state protocol stays on fastbatch at 3e6; with the
+    compiled count kernel its per-batch cost collapses and the same
+    protocol dispatches straight to count-batch."""
+    from repro.engine import dispatch
     from repro.engine.dispatch import _COUNTBATCH_FORCE_N, count_capable
     from repro.protocols.exact_majority import ExactMajority
 
-    # 4 states: per-batch cost is ~4x the epidemic's, pushing the measured
-    # crossover past 3e6 (the 2-state crossover).
+    # NumPy tier: 4 states is ~4x the epidemic's per-batch cost, pushing
+    # the measured crossover past 3e6 (the 2-state crossover).
+    monkeypatch.setattr(dispatch, "count_kernel_available", lambda: False)
     majority = ExactMajority.for_population(3 * 10**6)
     assert count_capable(majority, 3 * 10**6) == 4
     assert auto_engine(majority, 3 * 10**6) is FastBatchEngine
     big_majority = ExactMajority.for_population(10**7)
     assert auto_engine(big_majority, 10**7) is CountBatchEngine
-    # GS18 declares initial_counts but no finite state space: not capable.
+    # Kernel tier: the compiled count kernel's per-batch cost at 4 occupied
+    # states is negligible, so the same 3e6 instance goes to count-batch.
+    monkeypatch.setattr(dispatch, "count_kernel_available", lambda: True)
+    assert auto_engine(majority, 3 * 10**6) is CountBatchEngine
+    # GS18 declares initial_counts but no finite state space: not capable
+    # on either tier.
     from repro.protocols.gs18 import GS18LeaderElection
 
     gs18 = GS18LeaderElection.for_population(_COUNTBATCH_FORCE_N)
     assert count_capable(gs18, _COUNTBATCH_FORCE_N) is None
     assert auto_engine(gs18, _COUNTBATCH_FORCE_N) is FastBatchEngine
+    monkeypatch.setattr(dispatch, "count_kernel_available", lambda: False)
+    assert auto_engine(gs18, _COUNTBATCH_FORCE_N) is FastBatchEngine
 
 
-def test_auto_engine_dispatches_closure_registered_gsu19():
+def test_auto_engine_dispatches_closure_registered_gsu19(monkeypatch):
     """A count-batch-scale GSU19 instance declares its reachable closure and
     is force-dispatched to the configuration-space engine at sizes where
     per-agent arrays stop being viable.  A small calibration keeps the
     closure BFS fast; the default calibration is covered in the slow suite
     (test_engine_closure.py)."""
     from repro.core.params import GSUParams
+    from repro.engine import dispatch
     from repro.engine.dispatch import _COUNTBATCH_FORCE_N, count_capable
 
     protocol = GSULeaderElection(
@@ -324,8 +338,14 @@ def test_auto_engine_dispatches_closure_registered_gsu19():
     assert states is not None and states > 64  # beyond the old flat cap
     assert auto_engine(protocol, _COUNTBATCH_FORCE_N) is CountBatchEngine
     # Below the force threshold the measured cost model is honest about the
-    # occupied frontier: GSU19's per-batch cost loses to the C kernel.
+    # occupied frontier: on the NumPy tier this small closure's per-batch
+    # cost loses to the fast-batch C kernel, while the compiled count
+    # kernel's collapsed per-batch cost flips the same instance to
+    # count-batch.
+    monkeypatch.setattr(dispatch, "count_kernel_available", lambda: False)
     assert auto_engine(protocol, 10**7) is FastBatchEngine
+    monkeypatch.setattr(dispatch, "count_kernel_available", lambda: True)
+    assert auto_engine(protocol, 10**7) is CountBatchEngine
 
 
 def test_resolve_engine_accepts_names_classes_and_none():

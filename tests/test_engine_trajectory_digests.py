@@ -67,10 +67,18 @@ def _fastbatch_numpy(protocol, n, rng=None):
     return FastBatchEngine(protocol, n, rng, kernel="numpy")
 
 
+def _countbatch_python(protocol, n, rng=None):
+    # The countbatch C kernel runs its own RNG stream (equal in
+    # distribution, not bit-for-bit), so the shared pins record the
+    # Python path; the kernel path has its own pin set in
+    # test_engine_count_kernel.py, gated on kernel availability.
+    return CountBatchEngine(protocol, n, rng, kernel="python")
+
+
 ENGINES = {
     "sequential": SequentialEngine,
     "count": CountEngine,
-    "countbatch": CountBatchEngine,
+    "countbatch": _countbatch_python,
     "fastbatch": FastBatchEngine,
     "fastbatch-numpy": _fastbatch_numpy,
 }

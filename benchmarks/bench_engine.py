@@ -28,7 +28,10 @@ Two entry points:
   observed-vs-unobserved GSU19 throughput with the ``SingleLeader``
   predicate and a role-census recorder attached at a dense check cadence
   (the compiled-view acceptance bound is observed <= 1.25x unobserved at
-  ``n = 10^7`` on the count-batch engine).
+  ``n = 10^7`` on the count-batch engine).  ``--sweep`` adds the sweep
+  scheduler section: 32 replica-vectorised GSU19 runs against 32 scalar
+  runs at ``n = 10^6`` (acceptance: replica >= 3x) plus the sweep
+  scheduler's serial-vs-workers wall clock.
 
 The interesting outputs are the relative throughputs (interactions per
 second): the batched exact engine beats the sequential reference by a
@@ -527,6 +530,128 @@ def run_observed_ablation(
     }
 
 
+#: Sweep section workload: the headline closure calibration (k ~ 1.8k
+#: states, a ~25 MB packed table per engine) at a count-batch population —
+#: the (protocol, n) cell the replica dimension was built for.
+_SWEEP_N = 10**6
+_SWEEP_REPLICAS = 32
+
+
+def _gsu19_headline_calibration(n: int) -> GSULeaderElection:
+    """The headline-tier calibration, independent of the sweep's ``n``.
+
+    Module-level (not a lambda) so the sweep scheduler can ship it to pool
+    workers.
+    """
+    return GSULeaderElection.for_population(5 * 10**7)
+
+
+def run_sweep_ablation(
+    n: int = _SWEEP_N,
+    replicas: int = _SWEEP_REPLICAS,
+    rounds: int = 3,
+    seeds_per_cell: int = 8,
+) -> dict:
+    """Measure the replica-vectorised sweep path against scalar sweeps.
+
+    Two measurements:
+
+    * ``replica`` — ``replicas`` scalar runs (fresh engine per seed, the
+      per-cell sweep path) against one replicated engine advancing the same
+      seeds as an (R, k) count matrix.  Each leg is timed ``rounds`` times
+      and reports its best round: the legs are deterministic, so the best
+      round is the least-noise measurement and the ratio of bests is the
+      machine-independent quantity (shared-host wall clocks see
+      multiplicative noise bursts that medians do not fully reject at
+      second-scale legs).
+    * ``scheduler`` — a budget-capped mini-sweep (one cell per seed) driven
+      through :func:`repro.engine.parallel.run_cells` serially and with
+      ``workers=available_cpus()``, recording both wall clocks and the CPU
+      count so multi-worker scaling is tracked where CI machines have the
+      cores (on a single-CPU runner both legs run serially by design — the
+      scheduler clamps to the affinity mask).
+    """
+    from repro.engine.count_batch import replicated_engine
+    from repro.engine.parallel import available_cpus, run_cells
+    from repro.engine.rng import spawn_seeds
+
+    factory = _gsu19_headline_calibration
+    factory(n).reachable_state_closure()  # one-time BFS outside timings
+    seeds = spawn_seeds(777, replicas)
+    warm = CountBatchEngine(factory(n), n, rng=1)
+    warm.run(n)
+    kernel_used = "c" if count_kernel_available() else "python"
+
+    scalar_rounds: List[float] = []
+    replica_rounds: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for seed in seeds:
+            engine = CountBatchEngine(factory(n), n, rng=seed)
+            engine.run(n)
+        scalar_rounds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        replicated = replicated_engine(factory, n, seeds)
+        replicated.run(n)
+        replica_rounds.append(time.perf_counter() - start)
+    scalar_best = min(scalar_rounds)
+    replica_best = min(replica_rounds)
+
+    cpus = available_cpus()
+    sweep_seeds = list(spawn_seeds(888, seeds_per_cell))
+    serial_rounds: List[float] = []
+    pooled_rounds: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_cells(factory, n, sweep_seeds, max_parallel_time=4.0, engine="countbatch")
+        serial_rounds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        run_cells(
+            factory,
+            n,
+            sweep_seeds,
+            max_parallel_time=4.0,
+            engine="countbatch",
+            workers=cpus,
+        )
+        pooled_rounds.append(time.perf_counter() - start)
+
+    return {
+        "sweep": {
+            "schema": "bench-engine-sweep/v1",
+            "workload": {
+                "protocol": "gsu19-leader-election (headline calibration)",
+                "n": n,
+                "replicas": replicas,
+                "metric": "best-of-rounds leg seconds; ratio = scalar / replica",
+                "rounds": rounds,
+                "kernel": kernel_used,
+                "count_kernel_available": count_kernel_available(),
+                "acceptance": (
+                    "replica leg >= 3x faster than the scalar leg "
+                    "(32 runs at n = 10^6)"
+                ),
+            },
+            "replica": {
+                "scalar_best_seconds": scalar_best,
+                "scalar_rounds_seconds": scalar_rounds,
+                "replica_best_seconds": replica_best,
+                "replica_rounds_seconds": replica_rounds,
+                "speedup_replica_vs_scalar": scalar_best / replica_best,
+            },
+            "scheduler": {
+                "cells": seeds_per_cell,
+                "max_parallel_time": 4.0,
+                "available_cpus": cpus,
+                "serial_best_seconds": min(serial_rounds),
+                "workers_best_seconds": min(pooled_rounds),
+                "speedup_workers_vs_serial": min(serial_rounds)
+                / min(pooled_rounds),
+            },
+        }
+    }
+
+
 def write_bench_json(document: dict, path: Path = _DEFAULT_OUTPUT) -> Path:
     """Merge ``document`` into ``path`` (other top-level sections survive)."""
     existing: dict = {}
@@ -564,6 +689,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=(
             "also measure observed-vs-unobserved GSU19 throughput "
             "(SingleLeader + role-census recorder at a dense check cadence)"
+        ),
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "also measure the sweep scheduler: 32 replica-vectorised GSU19 "
+            "runs against 32 scalar runs, and serial-vs-workers sweep wall "
+            "clock (pays the headline calibration's one-time closure BFS)"
         ),
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
@@ -609,6 +743,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"requested size {max(args.sizes)}",
                 file=sys.stderr,
             )
+    if args.sweep:
+        document.update(run_sweep_ablation(rounds=max(2, args.rounds - 2)))
     path = write_bench_json(document, args.out)
     for record in document["results"]:
         print(
@@ -631,6 +767,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{record['median_unobserved_seconds']:.3f}s unobserved  "
             f"(x{record['ratio_observed_over_unobserved']:.3f}, "
             f"{record['checks']} checks)"
+        )
+    sweep_section = document.get("sweep")
+    if sweep_section:
+        replica = sweep_section["replica"]
+        scheduler = sweep_section["scheduler"]
+        print(
+            f"sweep replica: {replica['replica_best_seconds']:.3f}s for "
+            f"{sweep_section['workload']['replicas']} replicated runs vs "
+            f"{replica['scalar_best_seconds']:.3f}s scalar "
+            f"(x{replica['speedup_replica_vs_scalar']:.2f})"
+        )
+        print(
+            f"sweep scheduler: serial {scheduler['serial_best_seconds']:.3f}s "
+            f"vs {scheduler['workers_best_seconds']:.3f}s with "
+            f"{scheduler['available_cpus']} worker(s) "
+            f"(x{scheduler['speedup_workers_vs_serial']:.2f})"
         )
     print(f"wrote {path}")
     return 0

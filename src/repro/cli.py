@@ -105,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            metavar="K",
+            help=(
+                "worker processes for the sweep scheduler (default: the "
+                "preset's setting, i.e. serial); results are bit-identical "
+                "at every worker count"
+            ),
+        )
+        sub.add_argument(
             "--output",
             type=str,
             default=None,
@@ -156,6 +167,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         config = replace(config, max_parallel_time=args.budget)
     if getattr(args, "engine", None):
         config = config.with_engine(args.engine)
+    if getattr(args, "workers", None):
+        config = config.with_workers(args.workers)
     return config
 
 

@@ -55,10 +55,17 @@ import numpy as np
 
 from repro.engine._ckernel import build_library
 
-__all__ = ["load_count_kernel", "count_kernel_available", "seed_kernel_rng"]
+__all__ = [
+    "load_count_kernel",
+    "load_count_kernel_multi",
+    "count_kernel_available",
+    "seed_kernel_rng",
+    "logfact_reserve",
+]
 
 _SOURCE = r"""
 #include <stdint.h>
+#include <stdlib.h>
 #include <math.h>
 
 /* ------------------------------------------------------------------ */
@@ -90,10 +97,21 @@ static inline double xo_double(uint64_t *s)
 
 /* ------------------------------------------------------------------ */
 /* log(k!) -- table for small k, lgamma beyond                         */
+/*                                                                     */
+/* Every table entry is lgamma(k + 1) -- the very expression the       */
+/* fallback evaluates -- so growing the covered range changes no       */
+/* sampled value, only how fast HRUA's four log-factorial terms are    */
+/* served.  repro_logfact_reserve() extends coverage on the heap up    */
+/* to a caller-chosen bound (the engine passes 2*jmax: every          */
+/* responder/pairing-split operand is <= 2L <= 2*jmax, so those HRUA   */
+/* draws become lgamma-free; participant-split operands scale with n   */
+/* and keep the lgamma fallback).                                      */
 /* ------------------------------------------------------------------ */
 #define LOGFACT_TABLE 1024
 static double logfact_table[LOGFACT_TABLE];
 static int logfact_ready = 0;
+static double *logfact_heap = 0;   /* entries [LOGFACT_TABLE, logfact_limit) */
+static int64_t logfact_limit = LOGFACT_TABLE;
 
 static double logfactorial(int64_t k)
 {
@@ -105,7 +123,26 @@ static double logfactorial(int64_t k)
         }
         return logfact_table[k];
     }
+    if (k < logfact_limit)
+        return logfact_heap[k - LOGFACT_TABLE];
     return lgamma((double)k + 1.0);
+}
+
+/* Extend the log-factorial table to cover arguments < limit.  Growth
+ * only (never shrinks), allocation failure just keeps the lgamma
+ * fallback.  Single-threaded by contract, like the static table init. */
+void repro_logfact_reserve(int64_t limit)
+{
+    if (limit <= logfact_limit)
+        return;
+    double *grown = (double *)realloc(
+        logfact_heap, (size_t)(limit - LOGFACT_TABLE) * sizeof(double));
+    if (!grown)
+        return;
+    for (int64_t k = logfact_limit; k < limit; k++)
+        grown[k - LOGFACT_TABLE] = lgamma((double)k + 1.0);
+    logfact_heap = grown;
+    logfact_limit = limit;
 }
 
 /* ------------------------------------------------------------------ */
@@ -239,8 +276,31 @@ static int64_t pick_state(uint64_t *rs, const int64_t *weights,
     return last; /* float round-off guard */
 }
 
-/* Advance the count-space batched simulation by up to `budget`
- * interactions.
+/* Sorted-insert `sid` into the ascending candidate list (no-op when
+ * already present).  The list is the occupied-frontier superset the
+ * per-batch scan walks instead of all k ids; membership only ever grows
+ * within one call, so a binary search plus a short memmove keeps it
+ * exact and ascending. */
+static void cand_insert(int64_t *cand, int64_t *ncand, int64_t sid)
+{
+    int64_t lo = 0, hi = *ncand;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (cand[mid] < sid)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < *ncand && cand[lo] == sid)
+        return;
+    for (int64_t i = *ncand; i > lo; i--)
+        cand[i] = cand[i - 1];
+    cand[lo] = sid;
+    *ncand += 1;
+}
+
+/* Advance one replica's count-space batched simulation by up to
+ * `budget` interactions.
  *
  * counts       : per-state-id agent counts, length >= k (mutated at
  *                batch commits only)
@@ -256,19 +316,27 @@ static int64_t pick_state(uint64_t *rs, const int64_t *weights,
  * rng          : 4 xoshiro256++ state words (mutated)
  * seen         : byte mask over state ids (length >= k); outputs of every
  *                committed transition are marked 1
- * scratch      : 9*k int64 workspace.  The five weight regions (first
+ * scratch      : 10*k int64 workspace.  The five weight regions (first
  *                5*k entries) must be all-zero on entry and are restored
- *                to zero on exit; the four id-list regions are plain
- *                scratch
+ *                to zero on exit; the four id-list regions and the
+ *                candidate region are plain scratch
  * miss         : out: the uncompiled (responder, initiator) pair that
  *                stopped the call, or (-1, -1)
  *
  * Returns the number of interactions applied (commits are all-or-nothing
  * per batch; a miss rolls the batch back fully, including the RNG).
+ *
+ * The occupied scan is served from a sorted candidate list built by one
+ * full k-scan at call entry and extended at every commit with the
+ * states that received agents.  Candidates whose count dropped to zero
+ * are filtered per batch by the same counts[sid] > 0 test the full scan
+ * applied, so the frontier (and with it every draw) is bit-identical
+ * while per-batch scan cost follows the frontier, not k.
  */
-int64_t repro_count_batches(
+static int64_t run_row(
     int64_t *counts,
     int64_t k,
+    int64_t sk,
     int64_t n,
     int64_t budget,
     const double *neg_survival,
@@ -280,15 +348,26 @@ int64_t repro_count_batches(
     int64_t *scratch,
     int64_t *miss)
 {
+    /* Scratch regions are laid out at stride `sk` (>= k), NOT at k: the
+     * multi-row entry shares one workspace across rows with different
+     * encoder lengths, and a k-based layout would let one row's id-list
+     * regions (plain scratch, no zero-on-exit contract) land inside the
+     * next row's weight regions (which require zeros at entry). */
     int64_t *involved = scratch;
-    int64_t *responders = scratch + k;
-    int64_t *remaining_i = scratch + 2 * k;
-    int64_t *row = scratch + 3 * k;
-    int64_t *used = scratch + 4 * k;
-    int64_t *occ = scratch + 5 * k;
-    int64_t *inv_occ = scratch + 6 * k;
-    int64_t *resp_occ = scratch + 7 * k;
-    int64_t *used_occ = scratch + 8 * k;
+    int64_t *responders = scratch + sk;
+    int64_t *remaining_i = scratch + 2 * sk;
+    int64_t *row = scratch + 3 * sk;
+    int64_t *used = scratch + 4 * sk;
+    int64_t *occ = scratch + 5 * sk;
+    int64_t *inv_occ = scratch + 6 * sk;
+    int64_t *resp_occ = scratch + 7 * sk;
+    int64_t *used_occ = scratch + 8 * sk;
+    int64_t *cand = scratch + 9 * sk;
+
+    int64_t ncand = 0;
+    for (int64_t sid = 0; sid < k; sid++)
+        if (counts[sid] > 0)
+            cand[ncand++] = sid;
 
     int64_t applied = 0;
     miss[0] = -1;
@@ -317,11 +396,14 @@ int64_t repro_count_batches(
             collide = 0;
         }
 
-        /* Occupied frontier (ascending ids, like np.flatnonzero). */
+        /* Occupied frontier (ascending ids, like np.flatnonzero),
+         * filtered from the sorted candidate list. */
         int64_t nocc = 0;
-        for (int64_t sid = 0; sid < k; sid++)
+        for (int64_t ci = 0; ci < ncand; ci++) {
+            int64_t sid = cand[ci];
             if (counts[sid] > 0)
                 occ[nocc++] = sid;
+        }
 
         /* 2. Participant multiset: involved ~ MVH(counts, 2L), by
          * sequential conditional hypergeometric splits. */
@@ -497,6 +579,7 @@ int64_t repro_count_batches(
             counts[sid] += used[sid];
             used[sid] = 0;
             seen[sid] = 1;
+            cand_insert(cand, &ncand, sid);
         }
         applied += length;
         if (collide) {
@@ -506,14 +589,97 @@ int64_t repro_count_batches(
             counts[coll_ni] += 1;
             seen[coll_nr] = 1;
             seen[coll_ni] = 1;
+            cand_insert(cand, &ncand, coll_nr);
+            cand_insert(cand, &ncand, coll_ni);
             applied += 1;
         }
     }
     return applied;
 }
+
+/* Single-replica entry point (the CountBatchEngine hot path). */
+int64_t repro_count_batches(
+    int64_t *counts,
+    int64_t k,
+    int64_t n,
+    int64_t budget,
+    const double *neg_survival,
+    int64_t jmax,
+    const int64_t *lut,
+    int64_t cap,
+    uint64_t *rng,
+    uint8_t *seen,
+    int64_t *scratch,
+    int64_t *miss)
+{
+    return run_row(counts, k, k, n, budget, neg_survival, jmax, lut, cap,
+                   rng, seen, scratch, miss);
+}
+
+/* Replica-vectorised entry point: advance `rows` independent replicas,
+ * one (rows, stride) count matrix row each, through the same per-row
+ * code as the scalar entry -- per-row trajectories are bit-identical
+ * to `rows` scalar calls with the same per-row state.  The survival
+ * curve and scratch are shared across rows; the LUT is per row (rows
+ * sharing one compiled table pass the same address `rows` times, rows
+ * with private tables -- lazily discovering protocols, whose id
+ * layouts are seed-dependent -- pass their own).
+ *
+ * counts  : (rows, stride) row-major count matrix
+ * stride  : matrix row stride, >= every ks[r]
+ * ks      : per-row registered-state counts (encoder lengths)
+ * budgets : per-row interaction budgets (length rows)
+ * rng     : (rows, 4) xoshiro256++ state words
+ * luts    : per-row packed-LUT base addresses (length rows)
+ * caps    : per-row LUT side lengths (length rows)
+ * seen    : (rows, stride) ever-occupied byte masks
+ * scratch : one shared 10*stride int64 workspace (rows run
+ *           sequentially)
+ * applied : out, per-row interactions applied (length rows)
+ * miss    : out, (rows, 2) per-row uncompiled pair or (-1, -1)
+ *
+ * Returns the total number of interactions applied across rows.  Rows
+ * are independent: one row's miss stops only that row; the caller
+ * compiles every reported pair and re-enters with the reduced budgets.
+ */
+int64_t repro_count_batches_multi(
+    int64_t *counts,
+    int64_t rows,
+    int64_t stride,
+    const int64_t *ks,
+    int64_t n,
+    const int64_t *budgets,
+    const double *neg_survival,
+    int64_t jmax,
+    const uint64_t *luts,
+    const int64_t *caps,
+    uint64_t *rng,
+    uint8_t *seen,
+    int64_t *scratch,
+    int64_t *applied,
+    int64_t *miss)
+{
+    int64_t total = 0;
+    for (int64_t r = 0; r < rows; r++) {
+        applied[r] = 0;
+        miss[2 * r] = -1;
+        miss[2 * r + 1] = -1;
+        if (budgets[r] <= 0)
+            continue;
+        applied[r] = run_row(counts + r * stride, ks[r], stride, n,
+                             budgets[r], neg_survival, jmax,
+                             (const int64_t *)(uintptr_t)luts[r], caps[r],
+                             rng + 4 * r, seen + r * stride, scratch,
+                             miss + 2 * r);
+        total += applied[r];
+    }
+    return total;
+}
 """
 
 _kernel: Optional[ctypes.CFUNCTYPE] = None
+_kernel_multi: Optional[ctypes.CFUNCTYPE] = None
+_logfact_reserve: Optional[ctypes.CFUNCTYPE] = None
 _load_attempted = False
 
 _MASK64 = (1 << 64) - 1
@@ -547,7 +713,7 @@ def load_count_kernel():
     Same contract as :func:`repro.engine._ckernel.load_kernel`: lazy, cached,
     never raises, honours ``REPRO_NO_C_KERNEL=1``.
     """
-    global _kernel, _load_attempted
+    global _kernel, _kernel_multi, _logfact_reserve, _load_attempted
     if _load_attempted:
         return _kernel
     _load_attempted = True
@@ -572,10 +738,68 @@ def load_count_kernel():
             ctypes.c_void_p,  # scratch
             ctypes.c_void_p,  # miss
         ]
+        multi = library.repro_count_batches_multi
+        multi.restype = ctypes.c_int64
+        multi.argtypes = [
+            ctypes.c_void_p,  # counts (rows, stride)
+            ctypes.c_int64,  # rows
+            ctypes.c_int64,  # stride
+            ctypes.c_void_p,  # ks (rows)
+            ctypes.c_int64,  # n
+            ctypes.c_void_p,  # budgets (rows)
+            ctypes.c_void_p,  # neg_survival
+            ctypes.c_int64,  # jmax
+            ctypes.c_void_p,  # luts (rows) -- per-row LUT base addresses
+            ctypes.c_void_p,  # caps (rows)
+            ctypes.c_void_p,  # rng (rows, 4)
+            ctypes.c_void_p,  # seen (rows, stride)
+            ctypes.c_void_p,  # scratch (10 * stride)
+            ctypes.c_void_p,  # applied (rows)
+            ctypes.c_void_p,  # miss (rows, 2)
+        ]
+        reserve = library.repro_logfact_reserve
+        reserve.restype = None
+        reserve.argtypes = [ctypes.c_int64]
         _kernel = function
+        _kernel_multi = multi
+        _logfact_reserve = reserve
     except Exception:
         _kernel = None
+        _kernel_multi = None
+        _logfact_reserve = None
     return _kernel
+
+
+def load_count_kernel_multi():
+    """The replica-vectorised count-batch entry point, or ``None``.
+
+    Loads (and caches) the same shared library as :func:`load_count_kernel`;
+    per-row trajectories are bit-identical to the scalar entry point's.
+    """
+    load_count_kernel()
+    return _kernel_multi
+
+
+#: The heap-extended log-factorial table is capped here (16 MB of
+#: doubles): ``2 * jmax`` fits under the cap for every ``n`` up to
+#: ~1.4 * 10^10, and beyond it the affected arguments simply keep the
+#: (bit-identical) lgamma fallback.
+LOGFACT_RESERVE_CAP = 1 << 21
+
+
+def logfact_reserve(limit: int) -> None:
+    """Extend the kernel's log-factorial table to cover ``limit`` entries.
+
+    Every entry is ``lgamma(k + 1)`` — exactly the fallback expression —
+    so reserving changes no sampled value on any path; it only removes the
+    per-draw lgamma evaluations from the HRUA splits whose operands are
+    bounded by the batch length (responder and pairing rows).  No-op when
+    the kernel is unavailable; the limit is clamped to
+    :data:`LOGFACT_RESERVE_CAP`.
+    """
+    load_count_kernel()
+    if _logfact_reserve is not None and limit > 0:
+        _logfact_reserve(min(int(limit), LOGFACT_RESERVE_CAP))
 
 
 def count_kernel_available() -> bool:

@@ -62,18 +62,28 @@ function of.
 from __future__ import annotations
 
 import math
-from typing import List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine._count_kernel import load_count_kernel, seed_kernel_rng
+from repro.engine._count_kernel import (
+    load_count_kernel,
+    load_count_kernel_multi,
+    logfact_reserve,
+    seed_kernel_rng,
+)
 from repro.engine.base import BaseEngine
 from repro.engine.count_engine import initial_count_items, sample_weighted_index
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
 from repro.errors import ConfigurationError, ProtocolError
 
-__all__ = ["CountBatchEngine", "MAX_EXACT_N"]
+__all__ = [
+    "CountBatchEngine",
+    "MAX_EXACT_N",
+    "ReplicatedCountBatchEngine",
+    "replicated_engine",
+]
 
 #: Survival-curve truncation: beyond ``_SURVIVAL_SPAN * sqrt(n)`` pairs the
 #: all-distinct probability is ~1e-30; conditioning on reaching the cap and
@@ -223,6 +233,13 @@ class CountBatchEngine(BaseEngine):
         paths are equal in distribution but consume randomness differently
         (the kernel runs its own xoshiro256++ stream), so each carries its
         own trajectory-digest pins.
+    survival:
+        Internal: a precomputed ``(neg_survival, jmax)`` pair to adopt
+        instead of recomputing the curve.  The curve is a pure function of
+        ``n``, so sharing one across engines at the same ``n`` changes no
+        trajectory; :class:`ReplicatedCountBatchEngine` uses this to pay
+        the ``O(sqrt(n))`` cumulative-product construction once per batch
+        of replicas instead of once per row.
     """
 
     exact = True
@@ -234,6 +251,7 @@ class CountBatchEngine(BaseEngine):
         rng: RngLike = None,
         *,
         kernel: str = "auto",
+        survival: Optional[Tuple[np.ndarray, int]] = None,
     ) -> None:
         super().__init__(protocol, n, rng)
         if n > MAX_EXACT_N:
@@ -262,18 +280,22 @@ class CountBatchEngine(BaseEngine):
         # precision once n approaches 2^53.  The _SURVIVAL_MAX_LEN cap
         # bounds the table's memory at huge n (exact by conditioning, see
         # the constant's docstring).
-        jmax = max(
-            1,
-            min(
-                n // 2,
-                int(_SURVIVAL_SPAN * math.sqrt(n)) + 16,
-                _SURVIVAL_MAX_LEN,
-            ),
-        )
-        steps = np.arange(jmax, dtype=np.float64)
-        log_p = np.log1p(-2.0 * steps / n) + np.log1p(-2.0 * steps / (n - 1.0))
-        self._neg_survival = -np.exp(np.cumsum(log_p))
-        self._jmax = jmax
+        if survival is not None:
+            self._neg_survival, jmax = survival
+            self._jmax = jmax = int(jmax)
+        else:
+            jmax = max(
+                1,
+                min(
+                    n // 2,
+                    int(_SURVIVAL_SPAN * math.sqrt(n)) + 16,
+                    _SURVIVAL_MAX_LEN,
+                ),
+            )
+            steps = np.arange(jmax, dtype=np.float64)
+            log_p = np.log1p(-2.0 * steps / n) + np.log1p(-2.0 * steps / (n - 1.0))
+            self._neg_survival = -np.exp(np.cumsum(log_p))
+            self._jmax = jmax
         # Scalar hypergeometric entry point: NumPy's generator below its
         # 10^9 operand cap (total <= n bounds every operand, so small-n
         # engines keep the exact NumPy stream the digest pins record), the
@@ -299,6 +321,10 @@ class CountBatchEngine(BaseEngine):
                 )
             if self._kernel is not None:
                 self._kernel_rng = seed_kernel_rng(self._rng)
+                # Cover every batch-bounded HRUA operand (<= 2L <= 2*jmax)
+                # with table-served log-factorials; the entries equal the
+                # lgamma fallback bit-for-bit, so the stream is unchanged.
+                logfact_reserve(2 * jmax + 4)
 
     # ------------------------------------------------------------------
     # Count bookkeeping
@@ -571,10 +597,11 @@ class CountBatchEngine(BaseEngine):
         """
         self._ensure_counts()
         k = len(self.encoder)
-        if self._scratch is None or self._scratch.shape[0] < 9 * k:
-            # Weight regions must be zero; id-list regions are plain
-            # scratch, so a fresh zeroed allocation needs no copying.
-            self._scratch = np.zeros(9 * k, dtype=np.int64)
+        if self._scratch is None or self._scratch.shape[0] < 10 * k:
+            # Weight regions must be zero; id-list and candidate regions
+            # are plain scratch, so a fresh zeroed allocation needs no
+            # copying.
+            self._scratch = np.zeros(10 * k, dtype=np.int64)
         if self._seen_mask is None or self._seen_mask.shape[0] < k:
             seen = np.zeros(k, dtype=np.uint8)
             if self._seen_mask is not None:
@@ -659,3 +686,245 @@ class CountBatchEngine(BaseEngine):
     def counts_by_output(self):
         """Vectorised aggregation through the table's output maps."""
         return self.table.aggregate_counts(self._counts)
+
+
+class ReplicatedCountBatchEngine:
+    """R independent count-batch replicas advanced as an (R, k) matrix.
+
+    Each row is a full :class:`CountBatchEngine` with its own RNG stream,
+    counts, seen mask and interaction counter — snapshots, inspection and
+    the Python fallback all delegate to the row engines unchanged, so every
+    per-row trajectory is **bit-for-bit identical** to the scalar engine
+    run with that row's seed (the property the replica digest-equality
+    tests pin for all count-capable protocols).  What the replica dimension
+    buys is amortisation: the survival curve is computed once, the compiled
+    table (and its whole protocol/encoder construction) is shared whenever
+    the protocol declares a
+    :meth:`~repro.engine.protocol.PopulationProtocol.complete_state_space`,
+    and on the kernel path all rows advance through **one** ctypes call per
+    sweep (``repro_count_batches_multi``) instead of one per row — the
+    LUT/table setup, survival buffers and Python↔C transitions are paid per
+    batch-call, not per replica.
+
+    Table sharing and bit-identity
+    ==============================
+
+    A run's trajectory depends on the state-id *layout* (the occupied scan
+    is id-ascending), and lazily discovering protocols register states in
+    seed-dependent discovery order.  Sharing one table across rows is
+    therefore only bit-safe when no run can ever discover a state — i.e.
+    when the declared canonical space is complete.  The
+    :func:`replicated_engine` helper encodes the rule: a shared protocol
+    instance (one compile, one encoder) when
+    ``protocol.complete_state_space()`` holds, per-row protocol instances
+    (private tables, exactly the scalar cost) otherwise.  Compiling a
+    transition pair is stream-neutral either way — a kernel miss rolls the
+    batch back RNG-and-all before the pair is compiled and the batch
+    redrawn — so a table pre-warmed by an earlier row changes nothing in a
+    later row's trajectory.
+
+    Parameters
+    ----------
+    protocols:
+        One protocol instance per row.  Rows may share an instance (and
+        with it the compiled table) **only** when its state space is
+        complete; :func:`replicated_engine` makes that decision for you.
+    n:
+        Population size, shared by every row.
+    seeds:
+        One RNG seed (or generator) per row.
+    kernel:
+        Forwarded to every row engine.  The replica-vectorised C sweep is
+        used when every row holds the compiled kernel; otherwise (or with
+        ``kernel="python"``) rows advance through their own scalar path.
+    """
+
+    def __init__(
+        self,
+        protocols: Sequence[PopulationProtocol],
+        n: int,
+        seeds: Sequence[RngLike],
+        *,
+        kernel: str = "auto",
+    ) -> None:
+        if not protocols:
+            raise ConfigurationError("replicated engine requires at least one row")
+        if len(protocols) != len(seeds):
+            raise ConfigurationError(
+                f"got {len(protocols)} protocols for {len(seeds)} seeds; "
+                "replicated rows pair one protocol instance with one seed"
+            )
+        self.n = int(n)
+        first = CountBatchEngine(protocols[0], n, rng=seeds[0], kernel=kernel)
+        shared_survival = (first._neg_survival, first._jmax)
+        self.rows: List[CountBatchEngine] = [first]
+        for protocol, seed in zip(protocols[1:], seeds[1:]):
+            self.rows.append(
+                CountBatchEngine(
+                    protocol, n, rng=seed, kernel=kernel, survival=shared_survival
+                )
+            )
+        self._multi = None
+        if all(row._kernel is not None for row in self.rows):
+            self._multi = load_count_kernel_multi()
+        self._scratch: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def interactions(self) -> List[int]:
+        """Per-row interaction counters."""
+        return [row.interactions for row in self.rows]
+
+    def count_matrix(self) -> np.ndarray:
+        """Current counts as an (R, kmax) int64 matrix (copy).
+
+        Rows whose encoder registered fewer than ``kmax`` states are
+        zero-padded on the right; ``rows[r].count_vector()`` remains the
+        exact per-row view.
+        """
+        for row in self.rows:
+            row._ensure_counts()
+        kmax = max(len(row.encoder) for row in self.rows)
+        matrix = np.zeros((len(self.rows), kmax), dtype=np.int64)
+        for r, row in enumerate(self.rows):
+            k = len(row.encoder)
+            matrix[r, :k] = row._counts[:k]
+        return matrix
+
+    def run(self, interactions: int) -> None:
+        """Advance every replica by ``interactions`` interactions."""
+        self.run_chunks([interactions] * len(self.rows))
+
+    def run_chunks(self, budgets: Sequence[int]) -> None:
+        """Advance row ``r`` by ``budgets[r]`` interactions.
+
+        Equivalent to ``for r: rows[r].run(budgets[r])`` — and exactly that
+        on the Python path — but on the kernel path all rows advance
+        through one multi-row C call per sweep.  Per-row budgets let a
+        sweep driver keep rows with different remaining budgets (or
+        already-converged rows, budget 0) in a single call: run lengths
+        are budget-capped draws, so issuing the same per-row budget
+        sequence as the scalar driver is part of the bit-identity
+        contract.
+        """
+        if len(budgets) != len(self.rows):
+            raise ConfigurationError(
+                f"got {len(budgets)} budgets for {len(self.rows)} rows"
+            )
+        budgets = [int(budget) for budget in budgets]
+        if any(budget < 0 for budget in budgets):
+            raise ConfigurationError("row budgets must be non-negative")
+        if self._multi is None:
+            for row, budget in zip(self.rows, budgets):
+                if budget > 0:
+                    row.run(budget)
+            return
+        remaining = np.array(budgets, dtype=np.int64)
+        while np.any(remaining > 0):
+            remaining -= self._multi_sweep(remaining)
+
+    def _multi_sweep(self, remaining: np.ndarray) -> np.ndarray:
+        """One ``repro_count_batches_multi`` call over every active row.
+
+        Mirrors the scalar :meth:`CountBatchEngine._kernel_run` per row:
+        gather each row's counts / seen mask / xoshiro words into (R,
+        stride) matrices, run every row to its budget or first uncompiled
+        pair inside C, scatter the state back, then compile every reported
+        miss (growing that row's encoder exactly as the scalar path
+        would).  Returns the per-row interactions applied.
+        """
+        rows = self.rows
+        count = len(rows)
+        for row in rows:
+            row._ensure_counts()
+            k = len(row.encoder)
+            # Same persistent per-row buffers as the scalar path.
+            if row._seen_mask is None or row._seen_mask.shape[0] < k:
+                seen = np.zeros(k, dtype=np.uint8)
+                if row._seen_mask is not None:
+                    seen[: row._seen_mask.shape[0]] = row._seen_mask
+                row._seen_mask = seen
+        ks = np.array([len(row.encoder) for row in rows], dtype=np.int64)
+        stride = int(ks.max())
+        counts = np.zeros((count, stride), dtype=np.int64)
+        seen = np.zeros((count, stride), dtype=np.uint8)
+        rng = np.empty((count, 4), dtype=np.uint64)
+        luts = np.empty(count, dtype=np.uint64)
+        caps = np.empty(count, dtype=np.int64)
+        # The packed LUT buffers must outlive the C call even if a row's
+        # table is re-packed concurrently (it is not — rows run inside one
+        # sequential call — but holding the references makes that explicit).
+        packed = [row.table.packed for row in rows]
+        for r, row in enumerate(rows):
+            k = int(ks[r])
+            counts[r, :k] = row._counts[:k]
+            seen[r, :k] = row._seen_mask[:k]
+            rng[r] = row._kernel_rng
+            luts[r] = packed[r].ctypes.data
+            caps[r] = row.table.capacity
+        if self._scratch is None or self._scratch.shape[0] < 10 * stride:
+            self._scratch = np.zeros(10 * stride, dtype=np.int64)
+        applied = np.zeros(count, dtype=np.int64)
+        miss = np.empty((count, 2), dtype=np.int64)
+        first = rows[0]
+        self._multi(
+            counts.ctypes.data,
+            count,
+            stride,
+            ks.ctypes.data,
+            self.n,
+            remaining.ctypes.data,
+            first._neg_survival.ctypes.data,
+            first._jmax,
+            luts.ctypes.data,
+            caps.ctypes.data,
+            rng.ctypes.data,
+            seen.ctypes.data,
+            self._scratch.ctypes.data,
+            applied.ctypes.data,
+            miss.ctypes.data,
+        )
+        for r, row in enumerate(rows):
+            k = int(ks[r])
+            row._counts[:k] = counts[r, :k]
+            row._seen_mask[:k] = seen[r, :k]
+            row._kernel_rng[:] = rng[r]
+            row.interactions += int(applied[r])
+            if len(row._ever_occupied) < k:
+                row._ever_occupied.update(
+                    np.flatnonzero(row._seen_mask[:k]).tolist()
+                )
+            if miss[r, 0] >= 0:
+                # Compile the missing pair on the row's own table (possibly
+                # registering new states); the next sweep regathers against
+                # the grown encoder/LUT/buffers.
+                row.table.apply(int(miss[r, 0]), int(miss[r, 1]))
+        return applied
+
+
+def replicated_engine(
+    factory: Callable[[int], PopulationProtocol],
+    n: int,
+    seeds: Sequence[RngLike],
+    *,
+    kernel: str = "auto",
+) -> ReplicatedCountBatchEngine:
+    """Build a :class:`ReplicatedCountBatchEngine` from a protocol factory.
+
+    Encodes the table-sharing rule: when ``factory(n)`` declares a complete
+    state space (no run can ever discover a state, so every row sees the
+    same immutable id layout) all rows share that one instance — protocol
+    construction, canonical-state registration and the compiled table are
+    paid once for the whole batch.  Lazily discovering protocols get one
+    fresh instance per row, because their id layouts are seed-dependent
+    discovery orders and sharing would silently reorder a row's occupied
+    scans away from its scalar trajectory.
+    """
+    probe = factory(n)
+    if probe.complete_state_space():
+        protocols: List[PopulationProtocol] = [probe] * len(seeds)
+    else:
+        protocols = [probe] + [factory(n) for _ in range(len(seeds) - 1)]
+    return ReplicatedCountBatchEngine(protocols, n, seeds, kernel=kernel)

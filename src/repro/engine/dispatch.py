@@ -99,6 +99,7 @@ __all__ = [
     "auto_engine",
     "count_capable",
     "countbatch_batch_seconds",
+    "replica_capable",
     "resolve_engine",
     "state_space_size",
 ]
@@ -266,6 +267,23 @@ def count_capable(protocol: PopulationProtocol, n: int) -> Optional[int]:
     if states is None or states > _COUNTBATCH_MAX_DECLARED_STATES:
         return None
     return states
+
+
+def replica_capable(engine_cls: Type[BaseEngine]) -> bool:
+    """Whether cells resolved to ``engine_cls`` may be replica-vectorised.
+
+    The sweep scheduler (:func:`repro.engine.parallel.run_many`) groups
+    same-``(protocol, n, engine)`` cells into one
+    :class:`~repro.engine.count_batch.ReplicatedCountBatchEngine` mega-cell
+    when the *resolved* engine supports advancing R independent replicas as
+    an (R, k) count matrix.  Only the configuration-space batched engine
+    does today: its per-row state is a count vector plus an RNG stream, and
+    its replica mode is pinned row-wise bit-identical to the scalar path.
+    The per-agent engines would need (R, n) arrays — at which point the
+    process pool is the better parallelism — so they always run one cell
+    per task.
+    """
+    return engine_cls is CountBatchEngine
 
 
 def auto_engine(protocol: PopulationProtocol, n: int) -> Type[BaseEngine]:

@@ -1,4 +1,4 @@
-"""Multi-seed / multi-size sweep drivers.
+"""Multi-seed / multi-size sweep drivers: the work-stealing sweep scheduler.
 
 Experiments repeat each configuration across many seeds and several
 population sizes.  :func:`run_many` executes such a sweep either serially or
@@ -19,6 +19,37 @@ population size (the choice can differ between the sizes of one sweep — a
 the large one on the configuration-space ``countbatch`` engine).  Engine
 names and classes both pickle, so the parameter survives the process pool
 untouched.
+
+How a sweep is scheduled
+========================
+
+The scheduler turns the job list into *work units* and drains them through
+``min(workers, available CPUs, len(pending))`` worker processes (available
+CPUs come from ``os.sched_getaffinity`` where the platform has it, so a
+containerised CI with a CPU quota is not oversubscribed).  Work units are
+pulled from a shared queue as workers free up — work stealing at unit
+granularity — and each completed unit is recorded (and, with a store,
+persisted) **as it finishes**, in completion order, not submission order.
+A crash or kill therefore loses at most the units in flight; everything
+recorded before the interrupt is already on disk.
+
+A work unit is normally one cell.  When several pending cells share
+``(protocol, n, engine)`` and the resolved engine supports it
+(:func:`repro.engine.dispatch.replica_capable` — the configuration-space
+``CountBatchEngine``), the scheduler groups them into a *mega-cell*: one
+:class:`~repro.engine.count_batch.ReplicatedCountBatchEngine` advances all
+R seeds as an (R, k) count matrix, paying protocol construction, the
+survival curve and the per-batch kernel transitions once per call instead
+of once per replica.  Mega-cells are sharded so every worker still gets
+one, and each row reproduces the scalar cell for its seed **bit-for-bit**
+(same chunk sequence, same RNG stream, same convergence checks), so
+grouping is invisible in the results and in the store — a sweep resumed on
+a machine that groups differently still reuses every cell.
+
+A failing cell does not abandon the sweep: the remaining units still run,
+completed cells are recorded, and the failures surface at the end as one
+:class:`~repro.errors.SweepError` carrying ``(n, seed, exception)`` triples
+plus the completed points.
 
 Resumable sweeps
 ================
@@ -56,21 +87,26 @@ smaller sweep already computed.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time as _time
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.engine.convergence import ConvergencePredicate
-from repro.engine.dispatch import EngineSpec
+from repro.engine.convergence import ConvergencePredicate, SingleLeader
+from repro.engine.dispatch import EngineSpec, replica_capable, resolve_engine
 from repro.engine.rng import spawn_seeds
 from repro.engine.simulation import RunResult, run_protocol
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ReproError, SweepError
 
-__all__ = ["SweepPoint", "run_many"]
+__all__ = ["SweepPoint", "available_cpus", "run_cells", "run_many"]
 
 ProtocolFactory = Callable[[int], "PopulationProtocol"]  # noqa: F821 - doc only
 ConvergenceFactory = Callable[[int], Optional[ConvergencePredicate]]
+
+#: One sweep job: (result index, population size, seed, store key, store
+#: inputs) — key/inputs are ``None`` for storeless sweeps.
+_Job = Tuple[int, int, int, Optional[str], Optional[dict]]
 
 
 @dataclass
@@ -81,6 +117,20 @@ class SweepPoint:
     seed: int
     result: RunResult
     extra: Dict[str, object] = field(default_factory=dict)
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.sched_getaffinity(0)`` respects container / cgroup CPU masks and
+    ``taskset`` restrictions; platforms without it (macOS, Windows) fall
+    back to ``os.cpu_count()``.  Used to clamp sweep worker counts so CI
+    runners with a CPU quota are not oversubscribed.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _run_single(
@@ -140,6 +190,335 @@ def _cell_key_for(
     return content_key(inputs), inputs
 
 
+class _ProtocolConvergence:
+    """Picklable convergence factory reading the protocol's own hook.
+
+    Mirrors :func:`repro.experiments.runner.convergence_for` — the
+    experiment layer's convention that a protocol may carry its own
+    ``convergence()`` factory — in a form the process pool can ship.
+    """
+
+    def __init__(self, factory: ProtocolFactory) -> None:
+        self.factory = factory
+
+    def __call__(self, n: int) -> Optional[ConvergencePredicate]:
+        hook = getattr(self.factory(n), "convergence", None)
+        return hook() if callable(hook) else None
+
+
+# ----------------------------------------------------------------------
+# Replica-vectorised mega-cells
+# ----------------------------------------------------------------------
+def _mega_run_options(run_kwargs: Dict[str, object]) -> Optional[tuple]:
+    """``(check_every, engine_kwargs)`` when ``run_kwargs`` permits replica
+    grouping, else ``None``.
+
+    Mega-cells replay :class:`~repro.engine.simulation.Simulation`'s
+    fixed-cadence drive loop row-wise; anything beyond that — recorders,
+    checkpointing, the adaptive ``"auto"`` cadence, ``raise_on_budget``,
+    engine keywords other than the kernel selector — keeps the cell on the
+    per-cell path, which supports everything.
+    """
+    if set(run_kwargs) - {"check_every", "engine_kwargs"}:
+        return None
+    check_every = run_kwargs.get("check_every")
+    if check_every is not None and not isinstance(check_every, int):
+        return None  # "auto": per-row adaptive cadences are not grouped
+    engine_kwargs = dict(run_kwargs.get("engine_kwargs") or {})
+    if set(engine_kwargs) - {"kernel"}:
+        return None
+    return check_every, engine_kwargs
+
+
+def _groupable(factory: ProtocolFactory, n: int, engine: EngineSpec) -> bool:
+    """Whether cells at this ``n`` resolve to a replica-capable engine."""
+    try:
+        return replica_capable(resolve_engine(engine, factory(n), n))
+    except Exception:  # noqa: BLE001 - a broken cell fails in its worker
+        return False
+
+
+def _run_replicated(
+    factory: ProtocolFactory,
+    n: int,
+    seeds: Sequence[int],
+    max_parallel_time: float,
+    convergence_factory: Optional[ConvergenceFactory],
+    run_kwargs: Dict[str, object],
+) -> List[RunResult]:
+    """Run one mega-cell: every seed as a row of a replicated engine.
+
+    Replays the scalar drive loop per row — budget ``round(mpt * n)``, a
+    convergence check at position 0 and after every
+    ``min(check_every, remaining budget)`` chunk, a fresh predicate per
+    row — so each row's trajectory, convergence decision and final
+    configuration are bit-identical to ``_run_single`` with that row's
+    seed.  Rows that converge (or exhaust their budget) get zero-budget
+    chunks from then on, which the replicated engine skips without
+    touching their RNG streams.
+    """
+    from repro.engine.count_batch import replicated_engine
+
+    options = _mega_run_options(run_kwargs)
+    if options is None:  # pragma: no cover - guarded by the planner
+        raise ConfigurationError("cell options do not permit replica grouping")
+    check_every, engine_kwargs = options
+    if check_every is not None and check_every <= 0:
+        raise ConfigurationError(
+            f"check_every must be positive, got {check_every}"
+        )
+    if max_parallel_time <= 0:
+        raise ConfigurationError(
+            f"max_parallel_time must be positive, got {max_parallel_time}"
+        )
+    engine = replicated_engine(
+        factory, n, list(seeds), kernel=engine_kwargs.get("kernel", "auto")
+    )
+    rows = engine.rows
+    predicates: List[ConvergencePredicate] = []
+    for _ in rows:
+        predicate = (
+            convergence_factory(n) if convergence_factory is not None else None
+        )
+        if predicate is None:
+            predicate = SingleLeader()
+        predicate.reset()
+        predicates.append(predicate)
+    period = int(check_every) if check_every is not None else int(n)
+    budget = int(round(max_parallel_time * n))
+    started = _time.perf_counter()
+    deadlines = [row.interactions + budget for row in rows]
+    converged = [bool(predicate(row)) for predicate, row in zip(predicates, rows)]
+    active = [
+        not converged[r] and rows[r].interactions < deadlines[r]
+        for r in range(len(rows))
+    ]
+    while any(active):
+        chunks = [
+            min(period, deadlines[r] - rows[r].interactions) if active[r] else 0
+            for r in range(len(rows))
+        ]
+        engine.run_chunks(chunks)
+        for r, row in enumerate(rows):
+            if not active[r]:
+                continue
+            if predicates[r](row):
+                converged[r] = True
+                active[r] = False
+            elif row.interactions >= deadlines[r]:
+                active[r] = False
+    elapsed = _time.perf_counter() - started
+    return [
+        RunResult(
+            protocol_name=row.protocol.name,
+            n=int(n),
+            seed=seed,
+            converged=converged[r],
+            interactions=row.interactions,
+            parallel_time=row.parallel_time,
+            states_used=row.states_ever_occupied,
+            final_counts=row.state_counts(),
+            final_outputs=row.counts_by_output(),
+            # Rows share one wall clock; attribute it evenly (the field is
+            # for throughput reporting only and is not part of cell
+            # identity).
+            wall_clock_seconds=elapsed / len(rows),
+        )
+        for r, (row, seed) in enumerate(zip(rows, seeds))
+    ]
+
+
+# ----------------------------------------------------------------------
+# The scheduler core
+# ----------------------------------------------------------------------
+def _execute_unit(
+    kind: str,
+    factory: ProtocolFactory,
+    cells: List[Tuple[int, int]],  # (n, seed) per cell
+    max_parallel_time: float,
+    convergence_factory: Optional[ConvergenceFactory],
+    engine: EngineSpec,
+    run_kwargs: Dict[str, object],
+) -> List[SweepPoint]:
+    """Run one work unit (in a worker process or inline) → one point per cell."""
+    if kind == "mega":
+        n = cells[0][0]
+        seeds = [seed for _, seed in cells]
+        results = _run_replicated(
+            factory, n, seeds, max_parallel_time, convergence_factory, run_kwargs
+        )
+        return [
+            SweepPoint(n=n, seed=seed, result=result, extra={"replicated": True})
+            for (_, seed), result in zip(cells, results)
+        ]
+    (n, seed), = cells
+    return [
+        _run_single(
+            factory,
+            n,
+            seed,
+            max_parallel_time,
+            convergence_factory,
+            engine,
+            dict(run_kwargs),
+        )
+    ]
+
+
+def _plan_units(
+    pending: List[_Job],
+    factory: ProtocolFactory,
+    engine: EngineSpec,
+    run_kwargs: Dict[str, object],
+    shard_count: int,
+) -> List[Tuple[str, List[_Job]]]:
+    """Turn pending cells into work units, grouping replica-capable runs.
+
+    Cells sharing a replica-capable ``(protocol, n, engine)`` combination
+    are grouped into mega-cells and sharded into at most ``shard_count``
+    pieces per size, so a multi-worker sweep still spreads across the pool;
+    everything else becomes a one-cell unit.  Units come out ordered by
+    their first cell's result index, which keeps the serial path's
+    execution order deterministic.
+    """
+    units: List[Tuple[str, List[_Job]]] = []
+    if _mega_run_options(run_kwargs) is None:
+        return [("cell", [job]) for job in pending]
+    groups: Dict[int, List[_Job]] = {}
+    verdicts: Dict[int, bool] = {}
+    for job in pending:
+        n = job[1]
+        if n not in verdicts:
+            verdicts[n] = _groupable(factory, n, engine)
+        if verdicts[n]:
+            groups.setdefault(n, []).append(job)
+        else:
+            units.append(("cell", [job]))
+    for n in sorted(groups):
+        group = groups[n]
+        shards = max(1, min(shard_count, len(group)))
+        base, remainder = divmod(len(group), shards)
+        cursor = 0
+        for index in range(shards):
+            size = base + (1 if index < remainder else 0)
+            shard = group[cursor : cursor + size]
+            cursor += size
+            if not shard:
+                continue
+            units.append(("mega" if len(shard) > 1 else "cell", [*shard]))
+    units.sort(key=lambda unit: unit[1][0][0])
+    return units
+
+
+def _run_jobs(
+    factory: ProtocolFactory,
+    jobs: List[Tuple[int, int, int]],  # (index, n, seed)
+    *,
+    max_parallel_time: float,
+    convergence_factory: Optional[ConvergenceFactory],
+    workers: int,
+    engine: EngineSpec,
+    store,
+    run_kwargs: Dict[str, object],
+) -> List[SweepPoint]:
+    """Shared scheduler behind :func:`run_many` and :func:`run_cells`."""
+    # Resolve every cell against the store first, so the scheduler only
+    # ever sees the missing cells.
+    cached: Dict[int, SweepPoint] = {}
+    pending: List[_Job] = []
+    failures: List[Tuple[int, int, BaseException]] = []
+    for index, n, seed in jobs:
+        if store is None:
+            pending.append((index, n, seed, None, None))
+            continue
+        try:
+            key, inputs = _cell_key_for(
+                store,
+                factory,
+                n,
+                seed,
+                max_parallel_time,
+                convergence_factory,
+                engine,
+                dict(run_kwargs),
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced via SweepError
+            # A factory or predicate that cannot even be constructed for
+            # this cell fails the cell, not the sweep: the other cells
+            # still run and are recorded.
+            failures.append((n, seed, error))
+            continue
+        result = store.load_result(key)
+        if result is not None:
+            cached[index] = SweepPoint(
+                n=n, seed=seed, result=result, extra={"cached": True}
+            )
+        else:
+            pending.append((index, n, seed, key, inputs))
+
+    points: Dict[int, SweepPoint] = dict(cached)
+
+    def record(unit_jobs: List[_Job], unit_points: List[SweepPoint]) -> None:
+        # Stream every completed cell into the store the moment its unit
+        # finishes: an interrupt after this call cannot lose the cell.
+        for (index, _, _, key, inputs), point in zip(unit_jobs, unit_points):
+            if store is not None and key is not None:
+                store.save_result(key, point.result, inputs)
+                point.extra["cached"] = False
+            points[index] = point
+
+    def fail(unit_jobs: List[_Job], error: BaseException) -> None:
+        failures.extend((n, seed, error) for _, n, seed, _, _ in unit_jobs)
+
+    effective = max(1, min(workers, available_cpus(), len(pending) or 1))
+    units = _plan_units(
+        pending, factory, engine, dict(run_kwargs), shard_count=effective
+    )
+    if effective <= 1 or len(units) <= 1:
+        for kind, unit_jobs in units:
+            try:
+                unit_points = _execute_unit(
+                    kind,
+                    factory,
+                    [(n, seed) for _, n, seed, _, _ in unit_jobs],
+                    max_parallel_time,
+                    convergence_factory,
+                    engine,
+                    dict(run_kwargs),
+                )
+            except Exception as error:  # noqa: BLE001 - surfaced via SweepError
+                fail(unit_jobs, error)
+            else:
+                record(unit_jobs, unit_points)
+    else:
+        max_workers = min(effective, len(units))
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            futures = {
+                executor.submit(
+                    _execute_unit,
+                    kind,
+                    factory,
+                    [(n, seed) for _, n, seed, _, _ in unit_jobs],
+                    max_parallel_time,
+                    convergence_factory,
+                    engine,
+                    dict(run_kwargs),
+                ): (kind, unit_jobs)
+                for kind, unit_jobs in units
+            }
+            for future in as_completed(futures):
+                _, unit_jobs = futures[future]
+                error = future.exception()
+                if error is not None:
+                    fail(unit_jobs, error)
+                else:
+                    record(unit_jobs, future.result())
+    if failures:
+        ordered = [points[index] for index in sorted(points)]
+        raise SweepError(failures, ordered)
+    return [points[index] for index, _, _ in jobs]
+
+
 def run_many(
     factory: ProtocolFactory,
     ns: Sequence[int],
@@ -158,7 +537,8 @@ def run_many(
     Parameters
     ----------
     factory:
-        Callable building a protocol for a given population size.
+        Callable building a protocol for a given population size.  Must be
+        picklable (a module-level function or partial) when ``workers > 1``.
     ns:
         Population sizes to sweep.
     repetitions:
@@ -171,20 +551,24 @@ def run_many(
         Optional callable building the convergence predicate for a given
         population size (defaults to the standard single-leader predicate).
     workers:
-        ``None`` or ``0``/``1`` runs serially; larger values use a process
-        pool with that many workers.  Serial execution is the default because
-        individual runs are already long relative to scheduling overhead and
-        serial mode keeps tracebacks simple.
+        ``None`` or ``0``/``1`` runs serially; larger values drain the work
+        units through ``min(workers, available CPUs, pending cells)``
+        worker processes (available CPUs respect the scheduler affinity
+        mask, see :func:`available_cpus`).  Serial execution is the default
+        because individual runs are already long relative to scheduling
+        overhead and serial mode keeps tracebacks simple.
     engine:
         Engine specification — a name, ``"auto"``, an engine class, or
         ``None`` for the default sequential engine (see
-        :func:`repro.engine.dispatch.resolve_engine`).
+        :func:`repro.engine.dispatch.resolve_engine`).  Cells resolving to
+        a replica-capable engine are grouped into replica-vectorised
+        mega-cells (bit-identical per cell; see the module docstring).
     store:
         Optional on-disk experiment store (directory path or
         :class:`~repro.experiments.store.ExperimentStore`).  Completed
         cells are loaded instead of re-run and fresh cells are persisted
-        on completion, making the sweep resumable after an interruption —
-        see the module docstring.  Loaded cells carry
+        the moment they finish, making the sweep resumable after an
+        interruption — see the module docstring.  Loaded cells carry
         ``extra={"cached": True}``.
     run_kwargs:
         Forwarded to :func:`repro.engine.simulation.run_protocol` (and, when
@@ -194,6 +578,13 @@ def run_many(
     Returns
     -------
     list of :class:`SweepPoint`, ordered by (n, repetition).
+
+    Raises
+    ------
+    :class:`~repro.errors.SweepError`
+        When one or more cells fail.  Every other cell still runs and is
+        recorded first; the exception carries the per-cell failures and the
+        completed points.
     """
     ns = [int(n) for n in ns]
     if not ns:
@@ -210,79 +601,58 @@ def run_many(
     cursor = 0
     for n in ns:
         for _ in range(repetitions):
-            jobs.append((n, seeds[cursor]))
+            jobs.append((cursor, n, seeds[cursor]))
             cursor += 1
+    return _run_jobs(
+        factory,
+        jobs,
+        max_parallel_time=max_parallel_time,
+        convergence_factory=convergence_factory,
+        workers=workers or 0,
+        engine=engine,
+        store=store,
+        run_kwargs=dict(run_kwargs),
+    )
 
-    # Resolve every cell against the store first, so the pool only ever
-    # sees the missing cells.
-    cached: Dict[int, SweepPoint] = {}
-    pending: List[tuple] = []  # (job_index, n, seed, key, inputs)
-    for index, (n, seed) in enumerate(jobs):
-        if store is None:
-            pending.append((index, n, seed, None, None))
-            continue
-        key, inputs = _cell_key_for(
-            store,
-            factory,
-            n,
-            seed,
-            max_parallel_time,
-            convergence_factory,
-            engine,
-            dict(run_kwargs),
-        )
-        result = store.load_result(key)
-        if result is not None:
-            cached[index] = SweepPoint(
-                n=n, seed=seed, result=result, extra={"cached": True}
-            )
-        else:
-            pending.append((index, n, seed, key, inputs))
 
-    points: Dict[int, SweepPoint] = dict(cached)
+def run_cells(
+    factory: ProtocolFactory,
+    n: int,
+    seeds: Sequence[int],
+    *,
+    max_parallel_time: float,
+    convergence_factory: Optional[ConvergenceFactory] = None,
+    workers: int = 0,
+    engine: EngineSpec = None,
+    store: Union["ExperimentStore", str, Path, None] = None,  # noqa: F821
+    **run_kwargs: object,
+) -> List[SweepPoint]:
+    """Run one population size across an explicit seed list.
 
-    def record(index: int, key, inputs, point: SweepPoint) -> None:
-        if store is not None and key is not None:
-            store.save_result(key, point.result, inputs)
-            point.extra["cached"] = False
-        points[index] = point
+    The experiment layer's entry into the sweep scheduler
+    (:func:`repro.experiments.runner.run_cell` routes recorder-free cells
+    here): same store resumability, mega-cell grouping and failure
+    semantics as :func:`run_many`, but with caller-provided seeds and a
+    single ``n``.  When ``convergence_factory`` is ``None`` the predicate
+    comes from the protocol's own ``convergence()`` hook (the experiment
+    convention), falling back to the single-leader default.
+    """
+    if not seeds:
+        raise ConfigurationError("run_cells requires at least one seed")
+    if store is not None:
+        from repro.experiments.store import ExperimentStore
 
-    if workers is None:
-        workers = 0
-    if workers <= 1:
-        for index, n, seed, key, inputs in pending:
-            point = _run_single(
-                factory,
-                n,
-                seed,
-                max_parallel_time,
-                convergence_factory,
-                engine,
-                dict(run_kwargs),
-            )
-            record(index, key, inputs, point)
-        return [points[index] for index in range(len(jobs))]
-
-    max_workers = min(workers, os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=max_workers) as executor:
-        futures = [
-            (
-                index,
-                key,
-                inputs,
-                executor.submit(
-                    _run_single,
-                    factory,
-                    n,
-                    seed,
-                    max_parallel_time,
-                    convergence_factory,
-                    engine,
-                    dict(run_kwargs),
-                ),
-            )
-            for index, n, seed, key, inputs in pending
-        ]
-        for index, key, inputs, future in futures:
-            record(index, key, inputs, future.result())
-    return [points[index] for index in range(len(jobs))]
+        store = ExperimentStore.ensure(store)
+    if convergence_factory is None:
+        convergence_factory = _ProtocolConvergence(factory)
+    jobs = [(index, int(n), seed) for index, seed in enumerate(seeds)]
+    return _run_jobs(
+        factory,
+        jobs,
+        max_parallel_time=max_parallel_time,
+        convergence_factory=convergence_factory,
+        workers=workers,
+        engine=engine,
+        store=store,
+        run_kwargs=dict(run_kwargs),
+    )

@@ -17,6 +17,7 @@ __all__ = [
     "ConvergenceError",
     "CheckpointError",
     "ExperimentError",
+    "SweepError",
 ]
 
 
@@ -82,3 +83,27 @@ class CheckpointError(SimulationError):
 class ExperimentError(ReproError):
     """An experiment harness failed (unknown experiment id, bad output path,
     inconsistent aggregation, ...)."""
+
+
+class SweepError(ExperimentError):
+    """One or more cells of a sweep failed.
+
+    The sweep scheduler (:func:`repro.engine.parallel.run_many`) never lets
+    a failing cell abandon the others: every remaining cell still runs,
+    every completed cell is recorded (and, with a store, persisted) before
+    this exception is raised.  ``failures`` lists the failed cells as
+    ``(n, seed, exception)`` triples; ``points`` carries the completed
+    :class:`~repro.engine.parallel.SweepPoint` objects so callers that
+    catch the error lose nothing even without a store.
+    """
+
+    def __init__(self, failures, points) -> None:
+        self.failures = list(failures)
+        self.points = list(points)
+        n, seed, cause = self.failures[0]
+        super().__init__(
+            f"{len(self.failures)} of "
+            f"{len(self.failures) + len(self.points)} sweep cells failed "
+            f"(completed cells were recorded); first failure at n={n}, "
+            f"seed={seed}: {cause!r}"
+        )

@@ -56,6 +56,11 @@ class ExperimentConfig:
     #: The default stays the sequential reference engine so recorded numbers
     #: remain reproducible run-over-run.
     engine: str = "sequential"
+    #: Worker processes for the sweep scheduler (``0``/``1`` = serial).
+    #: Purely an execution knob: the scheduler is bit-identical at every
+    #: worker count, so this field is excluded from experiment store keys
+    #: (see :func:`repro.experiments.registry.experiment_key`).
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if not self.population_sizes:
@@ -75,6 +80,10 @@ class ExperimentConfig:
         if self.engine not in ENGINE_NAMES:
             raise ConfigurationError(
                 f"engine must be one of {ENGINE_NAMES}, got {self.engine!r}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {self.workers}"
             )
 
     # ------------------------------------------------------------------
@@ -176,3 +185,7 @@ class ExperimentConfig:
     def with_engine(self, engine: str) -> "ExperimentConfig":
         """Copy of the configuration with a different engine specification."""
         return replace(self, engine=str(engine))
+
+    def with_workers(self, workers: int) -> "ExperimentConfig":
+        """Copy of the configuration with a different worker-process count."""
+        return replace(self, workers=int(workers))

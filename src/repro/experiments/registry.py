@@ -73,17 +73,24 @@ def get_experiment(name: str) -> ExperimentRunner:
 def experiment_key(name: str, config: ExperimentConfig) -> str:
     """Content key of one ``(experiment, configuration)`` combination.
 
-    Hashes the experiment identifier together with every field of the
-    configuration, so changing any sweep knob — sizes, repetitions, budget,
-    seed, engine — keys a different record.
+    Hashes the experiment identifier together with every *result-affecting*
+    field of the configuration, so changing any sweep knob — sizes,
+    repetitions, budget, seed, engine — keys a different record.  The
+    ``workers`` field is deliberately excluded: the sweep scheduler is
+    bit-identical at every worker count, so a result computed serially is
+    the result a 8-worker rerun would recompute — excluding the knob lets
+    the rerun reuse it (and keeps keys minted before the field existed
+    valid).
     """
     from repro.experiments.store import content_key
 
+    fields = dataclasses.asdict(config)
+    fields.pop("workers", None)
     return content_key(
         {
             "kind": "experiment",
             "experiment": name,
-            "config": dataclasses.asdict(config),
+            "config": fields,
         }
     )
 

@@ -122,6 +122,7 @@ def run_cell(
     check_every: Optional[int] = None,
     engine: EngineSpec = None,
     store=None,
+    workers: int = 0,
 ) -> List[tuple]:
     """Run one experiment cell (fixed protocol and ``n``, several seeds).
 
@@ -135,36 +136,38 @@ def run_cell(
     recorder time series are in-memory observations of a live engine and
     are not persisted, so cells with a ``recorder_factory`` always run.
 
+    Recorder-free cells go through the sweep scheduler
+    (:func:`repro.engine.parallel.run_cells`): seeds whose resolved engine
+    is replica-capable advance together as one replica-vectorised
+    mega-cell (bit-identical per seed), ``workers > 1`` drains missing
+    seeds through a process pool, and every completed seed is persisted
+    as it finishes.  Cells with recorders keep the in-process serial loop
+    — recorders observe a live engine and cannot cross a process
+    boundary.
+
     Returns a list of ``(RunResult, recorders)`` pairs, where ``recorders``
     is the (possibly empty) list produced by ``recorder_factory`` for that
     run — experiments read their time series from these.
     """
-    from repro.experiments.store import ExperimentStore, content_key
+    if recorder_factory is None:
+        from repro.engine.parallel import run_cells
 
-    store = ExperimentStore.ensure(store) if recorder_factory is None else None
+        points = run_cells(
+            protocol_factory,
+            n,
+            list(seeds),
+            max_parallel_time=max_parallel_time,
+            workers=workers,
+            engine=engine,
+            store=store,
+            **({"check_every": check_every} if check_every else {}),
+        )
+        return [(point.result, []) for point in points]
     outcomes = []
     for seed in seeds:
         protocol = protocol_factory(n)
         convergence = convergence_for(protocol)
-        key = inputs = None
-        if store is not None:
-            inputs = store.cell_inputs(
-                protocol,
-                n,
-                seed,
-                engine=engine,
-                convergence=(
-                    convergence.description if convergence is not None else None
-                ),
-                max_parallel_time=max_parallel_time,
-                extra={"check_every": check_every} if check_every else None,
-            )
-            key = content_key(inputs)
-            cached = store.load_result(key)
-            if cached is not None:
-                outcomes.append((cached, []))
-                continue
-        recorders = list(recorder_factory()) if recorder_factory is not None else []
+        recorders = list(recorder_factory())
         result = run_protocol(
             protocol,
             n,
@@ -175,8 +178,6 @@ def run_cell(
             check_every=check_every,
             engine_cls=engine,
         )
-        if store is not None:
-            store.save_result(key, result, inputs)
         outcomes.append((result, recorders))
     return outcomes
 
@@ -192,13 +193,15 @@ def sweep(
     check_every: Optional[int] = None,
     engine: EngineSpec = None,
     store=None,
+    workers: int = 0,
 ) -> Dict[int, List[tuple]]:
     """Run a full (sizes × seeds) sweep; returns ``{n: [(result, recorders)]}``.
 
-    ``store`` is forwarded to :func:`run_cell` (cell-level resumability for
-    recorder-free sweeps).  Seeds are spawned prefix-stably from
-    ``base_seed``, so extending ``ns`` or ``repetitions`` keeps the keys —
-    and therefore the stored results — of the smaller sweep valid.
+    ``store`` and ``workers`` are forwarded to :func:`run_cell` (cell-level
+    resumability and multi-process scheduling for recorder-free sweeps).
+    Seeds are spawned prefix-stably from ``base_seed``, so extending ``ns``
+    or ``repetitions`` keeps the keys — and therefore the stored results —
+    of the smaller sweep valid.
     """
     ns = [int(n) for n in ns]
     seeds = spawn_seeds(base_seed, len(ns) * repetitions)
@@ -216,6 +219,7 @@ def sweep(
             check_every=check_every,
             engine=engine,
             store=store,
+            workers=workers,
         )
     return cells
 

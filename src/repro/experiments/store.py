@@ -8,8 +8,14 @@ and its key is the SHA-256 of the canonical JSON rendering of those inputs
 :meth:`~repro.engine.protocol.PopulationProtocol.fingerprint`).  Completed
 cells are written as small JSON files under ``<store>/cells/``;
 :func:`repro.engine.parallel.run_many` consults the store before running a
-cell and executes only the missing ones, so an interrupted 45-minute sweep
-restarted with the same arguments redoes none of the finished work.
+cell and **streams every completed cell in as it finishes** (completion
+order, not submission order — the sweep scheduler records each work unit
+the moment its future resolves), so an interrupted 45-minute sweep loses
+at most the cells in flight and a restart with the same arguments redoes
+none of the finished work.  Cell keys are independent of how the
+scheduler executed the cell: serial, multi-process and replica-vectorised
+runs of the same cell produce the same key and the same result, so stores
+written by any mode resume any other.
 
 The registry layer caches at coarser granularity: a full
 :class:`~repro.experiments.runner.ExperimentResult` keyed by

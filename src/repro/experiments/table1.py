@@ -107,6 +107,7 @@ def run_table1(config: ExperimentConfig) -> ExperimentResult:
                 base_seed=config.base_seed,
                 max_parallel_time=config.max_parallel_time,
                 engine=config.engine,
+                workers=config.workers,
             )
             for n, outcomes in cells.items():
                 times = [run.parallel_time for run, _ in outcomes]

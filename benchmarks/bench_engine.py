@@ -31,7 +31,13 @@ Two entry points:
   ``n = 10^7`` on the count-batch engine).  ``--sweep`` adds the sweep
   scheduler section: 32 replica-vectorised GSU19 runs against 32 scalar
   runs at ``n = 10^6`` (acceptance: replica >= 3x) plus the sweep
-  scheduler's serial-vs-workers wall clock.
+  scheduler's serial-vs-workers wall clock.  ``--topology`` adds the
+  scheduler section: ``pair_block`` throughput of every interaction
+  topology (complete / cycle / 2D torus / random 4-regular / power-law)
+  at ``n = 10^6`` — the scenario axis's randomness hot path; combine
+  ``--no-epidemic --no-gsu19 --topology`` to merge just that section
+  into the JSON without re-running (and overwriting) the full-size
+  ablation.
 
 The interesting outputs are the relative throughputs (interactions per
 second): the batched exact engine beats the sequential reference by a
@@ -530,6 +536,108 @@ def run_observed_ablation(
     }
 
 
+#: Scheduler/topology section: the five PairScheduler implementations drawing
+#: ordered interaction pairs at a fast-batch-scale population.  ``pair_block``
+#: is the randomness hot path of the sequential and fast-batch engines, so a
+#: topology that draws pairs much slower than the complete-graph sampler
+#: bounds how much a scenario run can cost before any dynamics execute.
+_TOPOLOGY_N = 10**6
+_TOPOLOGY_BLOCK = 10**5
+_TOPOLOGY_PAIRS = 4_000_000
+
+
+def _topology_schedulers():
+    """Name → ``factory(n, rng)`` for every scheduler kind (lazy import so
+    the pytest-benchmark suite does not pay for it)."""
+    from repro.engine.scheduler import (
+        CycleScheduler,
+        Grid2DScheduler,
+        PairSampler,
+        PowerLawScheduler,
+        RandomRegularScheduler,
+    )
+
+    return {
+        "complete": lambda n, rng: PairSampler(n, rng),
+        "cycle": lambda n, rng: CycleScheduler(n, rng),
+        "grid2d": lambda n, rng: Grid2DScheduler(n, rng),
+        "random-regular-4": lambda n, rng: RandomRegularScheduler(n, rng, degree=4),
+        "powerlaw": lambda n, rng: PowerLawScheduler(n, rng, alpha=1.0),
+    }
+
+
+def run_topology_ablation(
+    n: int = _TOPOLOGY_N,
+    rounds: int = 5,
+    pairs: int = _TOPOLOGY_PAIRS,
+    block: int = _TOPOLOGY_BLOCK,
+) -> dict:
+    """Measure ``pair_block`` throughput for every scheduler kind.
+
+    Construction is timed separately — the random d-regular scheduler
+    builds its edge list up front (d/2 Hamiltonian cycles) and the
+    power-law scheduler builds its weight CDF, both one-time costs that
+    would otherwise hide the steady-state draw rate.  Rounds are
+    interleaved round-robin across kinds for the same reason as
+    :func:`run_ablation`.
+    """
+    schedulers = _topology_schedulers()
+    blocks = max(1, pairs // block)
+    drawn = blocks * block
+    timings: Dict[str, List[tuple]] = {name: [] for name in schedulers}
+    for _ in range(rounds):
+        for name, factory in schedulers.items():
+            start = time.perf_counter()
+            scheduler = factory(n, 1)
+            constructed = time.perf_counter()
+            for _ in range(blocks):
+                scheduler.pair_block(block)
+            finished = time.perf_counter()
+            timings[name].append((constructed - start, finished - constructed))
+    results: List[dict] = []
+    for name in schedulers:
+        draw_seconds = median(seconds for _, seconds in timings[name])
+        results.append(
+            {
+                "scheduler": name,
+                "n": n,
+                "pairs": drawn,
+                "block": block,
+                "median_construct_seconds": median(s for s, _ in timings[name]),
+                "median_draw_seconds": draw_seconds,
+                "best_draw_seconds": min(s for _, s in timings[name]),
+                "pairs_per_second": drawn / draw_seconds,
+            }
+        )
+    complete_rate = next(
+        r["pairs_per_second"] for r in results if r["scheduler"] == "complete"
+    )
+    return {
+        "topology": {
+            "schema": "bench-engine-topology/v1",
+            "workload": {
+                "metric": (
+                    "ordered pairs drawn per second via pair_block "
+                    f"(median of rounds, {block}-pair blocks)"
+                ),
+                "n": n,
+                "rounds": rounds,
+                "note": (
+                    "pair_block is the scenario axis's randomness hot path; "
+                    "construction (edge list / weight CDF) reported "
+                    "separately as a one-time cost"
+                ),
+            },
+            "results": results,
+            "slowdown_vs_complete": {
+                record["scheduler"]: complete_rate / record["pairs_per_second"]
+                for record in results
+                if record["scheduler"] != "complete"
+            },
+        }
+    }
+
+
 #: Sweep section workload: the headline closure calibration (k ~ 1.8k
 #: states, a ~25 MB packed table per engine) at a count-batch population —
 #: the (protocol, n) cell the replica dimension was built for.
@@ -684,6 +792,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="skip the GSU19 count-space section (saves its ~45s closure BFS)",
     )
     parser.add_argument(
+        "--no-epidemic",
+        action="store_true",
+        help=(
+            "skip the epidemic engine ablation (combine with --no-gsu19 to "
+            "merge just the opt-in sections into the JSON without touching "
+            "the recorded full-size ablation)"
+        ),
+    )
+    parser.add_argument(
+        "--topology",
+        action="store_true",
+        help=(
+            "also measure pair_block throughput of every scheduler kind "
+            "(complete / cycle / grid2d / random-regular / power-law) at "
+            "n = 10^6 — the scenario axis's randomness hot path"
+        ),
+    )
+    parser.add_argument(
         "--observed",
         action="store_true",
         help=(
@@ -701,7 +827,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     args = parser.parse_args(list(argv) if argv is not None else None)
-    document = run_ablation(sizes=args.sizes, rounds=args.rounds)
+    document: dict = {}
+    if not args.no_epidemic:
+        document = run_ablation(sizes=args.sizes, rounds=args.rounds)
     # The GSU19 section respects --sizes: a quick small-size smoke must not
     # silently pay the tier's closure BFS and 10^7-agent warm-ups.
     gsu19_sizes = tuple(n for n in _GSU19_SIZES if n <= max(args.sizes))
@@ -745,13 +873,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
     if args.sweep:
         document.update(run_sweep_ablation(rounds=max(2, args.rounds - 2)))
+    if args.topology:
+        document.update(run_topology_ablation(rounds=args.rounds))
     path = write_bench_json(document, args.out)
-    for record in document["results"]:
+    for record in document.get("results", []):
         print(
             f"{record['engine']:>10}  n={record['n']:>8}  "
             f"{record['throughput_per_second'] / 1e6:8.2f} M interactions/s"
         )
-    for n, per_engine in document["speedup_vs_sequential"].items():
+    for n, per_engine in document.get("speedup_vs_sequential", {}).items():
         gains = ", ".join(f"{name} {value:.2f}x" for name, value in per_engine.items())
         print(f"speedup vs sequential at n={n}: {gains}")
     for record in document.get("gsu19", {}).get("results", []):
@@ -767,6 +897,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"{record['median_unobserved_seconds']:.3f}s unobserved  "
             f"(x{record['ratio_observed_over_unobserved']:.3f}, "
             f"{record['checks']} checks)"
+        )
+    for record in document.get("topology", {}).get("results", []):
+        print(
+            f"topology {record['scheduler']:>16}  n={record['n']:>8}  "
+            f"{record['pairs_per_second'] / 1e6:8.2f} M pairs/s  "
+            f"(construct {record['median_construct_seconds']:.3f}s)"
         )
     sweep_section = document.get("sweep")
     if sweep_section:

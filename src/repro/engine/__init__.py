@@ -7,6 +7,16 @@ random, the first acting as **responder** and the second as **initiator**,
 and both agents update their states according to the protocol's deterministic
 transition function.
 
+The scheduler itself is a pluggable axis: the complete-graph
+:class:`~repro.engine.scheduler.PairSampler` is one implementation of the
+:class:`~repro.engine.scheduler.PairScheduler` contract, alongside
+restricted interaction topologies (cycle, 2D torus grid, random d-regular,
+power-law contact weights).  The scenario layer (:mod:`repro.scenarios`)
+bundles a topology with churn and fault models and threads it through the
+agent-space engines, dispatch, checkpoints and the experiment runner; the
+default complete fault-free scenario is byte-identical to passing no
+scenario at all.
+
 All engines consume one shared **compiled transition-table IR**
 (:class:`~repro.engine.table.TransitionTable`, obtained from
 ``protocol.compile()``): protocol states are interned as small integers and
@@ -158,7 +168,15 @@ from repro.engine.views import (
 )
 from repro.engine.closure import reachable_states
 from repro.engine.rng import make_rng, restore_rng_state, rng_state, spawn_seeds
-from repro.engine.scheduler import PairSampler
+from repro.engine.scheduler import (
+    SCHEDULER_KINDS,
+    CycleScheduler,
+    Grid2DScheduler,
+    PairSampler,
+    PairScheduler,
+    PowerLawScheduler,
+    RandomRegularScheduler,
+)
 from repro.engine.engine import SequentialEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.count_batch import CountBatchEngine
@@ -169,6 +187,7 @@ from repro.engine.dispatch import (
     ENGINE_REGISTRY,
     auto_engine,
     resolve_engine,
+    scenario_capable,
 )
 from repro.engine.convergence import (
     ConvergencePredicate,
@@ -201,7 +220,13 @@ __all__ = [
     "rng_state",
     "restore_rng_state",
     "spawn_seeds",
+    "PairScheduler",
     "PairSampler",
+    "CycleScheduler",
+    "Grid2DScheduler",
+    "RandomRegularScheduler",
+    "PowerLawScheduler",
+    "SCHEDULER_KINDS",
     "SequentialEngine",
     "CountEngine",
     "CountBatchEngine",
@@ -211,6 +236,7 @@ __all__ = [
     "ENGINE_REGISTRY",
     "auto_engine",
     "resolve_engine",
+    "scenario_capable",
     "ConvergencePredicate",
     "NeverConverge",
     "AllAgentsSatisfy",

@@ -48,6 +48,14 @@ class BaseEngine(abc.ABC):
     #: for correctness claims.
     exact: bool = True
 
+    #: Scenario capability tags this engine supports, compared against
+    #: :meth:`repro.scenarios.scenario.Scenario.requirements` by
+    #: :func:`repro.engine.dispatch.scenario_capable`.  The default — the
+    #: empty set — means "complete graph, fault-free, static population
+    #: only", which is correct for every count-space engine (their
+    #: hypergeometric splits assume uniform complete-graph pairing).
+    scenario_capabilities: frozenset = frozenset()
+
     def __init__(self, protocol: PopulationProtocol, n: int, rng: RngLike = None) -> None:
         if n < 2:
             raise ConfigurationError(f"population size must be >= 2, got {n}")

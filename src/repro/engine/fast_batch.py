@@ -267,9 +267,22 @@ class FastBatchEngine(BaseEngine):
         through the NumPy wave schedule otherwise; ``"numpy"`` forces the
         wave schedule; ``"c"`` requires the C kernel and raises when it is
         unavailable.  All paths produce bit-for-bit identical trajectories.
+    scenario:
+        Optional **topology-only** scenario: pairs are then drawn from the
+        scenario topology's scheduler instead of the complete-graph
+        sampler.  Both block-application paths execute a sampled block in
+        strict sequential order (the wave schedule by construction, the C
+        kernel literally), so neither assumes anything about *which* pairs
+        were sampled — restricted topologies are exact on either.  Churn
+        and fault dynamics mutate the population between interactions,
+        which the bulk paths cannot interleave; those scenarios are
+        rejected here and handled by
+        :class:`~repro.engine.engine.SequentialEngine`.
     """
 
     exact = True
+
+    scenario_capabilities = frozenset({"topology"})
 
     def __init__(
         self,
@@ -279,6 +292,7 @@ class FastBatchEngine(BaseEngine):
         *,
         block: int = _BLOCK,
         kernel: str = "auto",
+        scenario=None,
     ) -> None:
         super().__init__(protocol, n, rng)
         if block < 1:
@@ -287,6 +301,22 @@ class FastBatchEngine(BaseEngine):
             raise ConfigurationError(
                 f"kernel must be 'auto', 'c' or 'numpy', got {kernel!r}"
             )
+        if scenario is not None:
+            # Imported lazily to avoid a package-import cycle (scenarios
+            # imports the scheduler module at package level).
+            from repro.scenarios.scenario import active_scenario
+
+            scenario = active_scenario(scenario)
+            if scenario is not None:
+                missing = scenario.requirements() - self.scenario_capabilities
+                if missing:
+                    raise ConfigurationError(
+                        f"FastBatchEngine supports topology-only scenarios; "
+                        f"scenario {scenario.label()!r} also needs "
+                        f"{', '.join(sorted(missing))} — use "
+                        "engine='sequential' for churn/fault scenarios"
+                    )
+        self._scenario = scenario
         self._c_kernel = load_kernel() if kernel in ("auto", "c") else None
         if kernel == "c" and self._c_kernel is None:
             raise ConfigurationError(
@@ -294,7 +324,11 @@ class FastBatchEngine(BaseEngine):
                 "(no compiler on PATH, or REPRO_NO_C_KERNEL is set)"
             )
         self._block = int(block)
-        self._sampler = PairSampler(n, make_rng(rng))
+        generator = make_rng(rng)
+        if scenario is None:
+            self._sampler = PairSampler(n, generator)
+        else:
+            self._sampler = scenario.topology.build(n, generator)
         configuration = protocol.initial_configuration(n)
         protocol.validate_configuration(configuration, n)
         # Ever-occupied tracking as a dense byte mask (indexed by state id,
@@ -324,6 +358,11 @@ class FastBatchEngine(BaseEngine):
             self._agent_states, minlength=len(self.encoder)
         )
         self._cached_counts_stamp = 0
+
+    @property
+    def scenario(self):
+        """The active scenario, or ``None`` in the default idealised world."""
+        return self._scenario
 
     # ------------------------------------------------------------------
     # Occupancy tracking (mask-based override of the base set)

@@ -1,27 +1,92 @@
-"""The random scheduler: uniform sampling of ordered agent pairs.
+"""The scheduler layer: who interacts with whom, as a pluggable axis.
 
 The probabilistic population-protocol model selects, at every step, an
-ordered pair of *distinct* agents uniformly at random.  Drawing two random
-integers per interaction through individual calls into NumPy is slow, so
-:class:`PairSampler` draws large blocks of candidate pairs at once and hands
-them out one by one, resampling the (rare, probability ``1/n``) pairs whose
-two entries collide.
+ordered pair of *distinct* agents.  The paper's idealised scheduler draws
+that pair uniformly from the **complete** interaction graph; the scenario
+layer (:mod:`repro.scenarios`) generalises the choice to restricted
+interaction topologies.  This module defines the common
+:class:`PairScheduler` contract and its implementations:
+
+* :class:`PairSampler` — the complete-graph scheduler (the historical
+  default; every trajectory digest in the test suite is pinned against its
+  exact randomness-consumption pattern, which therefore must never change),
+* :class:`CycleScheduler` — agents on a ring, interactions across ring
+  edges,
+* :class:`Grid2DScheduler` — a 2D torus grid, interactions across
+  horizontal/vertical edges,
+* :class:`RandomRegularScheduler` — a random ``d``-regular (multi)graph,
+  built deterministically from a recorded graph seed as the union of
+  ``d/2`` random Hamiltonian cycles,
+* :class:`PowerLawScheduler` — complete graph with power-law contact
+  *weights* (agent ``i`` participates proportionally to ``(i+1)**-alpha``),
+  the "heavy-traffic hub" workload.
+
+All schedulers share the vectorised ``pair_block`` / scalar ``next_pair``
+contract and the bit-exact ``state_snapshot`` / ``state_restore`` half of
+engine checkpoints.  Drawing two random integers per interaction through
+individual calls into NumPy is slow, so pairs are drawn in large blocks and
+handed out one by one.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+import abc
+import base64
+from typing import Dict, Iterator, Tuple, Type
 
 import numpy as np
 
 from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
 from repro.errors import CheckpointError, ConfigurationError
 
-__all__ = ["PairSampler"]
+__all__ = [
+    "PairScheduler",
+    "PairSampler",
+    "CycleScheduler",
+    "Grid2DScheduler",
+    "RandomRegularScheduler",
+    "PowerLawScheduler",
+    "SCHEDULER_KINDS",
+]
 
 
-class PairSampler:
-    """Produces ordered pairs of distinct agent indices uniformly at random.
+# ----------------------------------------------------------------------
+# Compact pending-buffer encoding (checkpoint payloads)
+# ----------------------------------------------------------------------
+#: Tag identifying the compact pending-pair encoding in snapshots.
+_PENDING_ENCODING = "base64/int64-le"
+
+
+def _pack_pending(array: np.ndarray) -> str:
+    """Base64 of the little-endian ``int64`` bytes of ``array``.
+
+    A scheduler interrupted mid-block owes its caller up to a full block of
+    pre-drawn pairs; storing them as Python int lists bloats checkpoints
+    (65536 ints pickle to ~300 KiB where the raw bytes are 512 KiB -> 680 KiB
+    of base64 text... but JSON-ified snapshots ballooned far worse).  The
+    packed form is one ASCII string at ~1.33 bytes per pending int64.
+    """
+    return base64.b64encode(
+        np.ascontiguousarray(array, dtype="<i8").tobytes()
+    ).decode("ascii")
+
+
+def _unpack_pending(payload: str) -> np.ndarray:
+    """Inverse of :func:`_pack_pending` (returns a fresh writable array)."""
+    raw = base64.b64decode(payload.encode("ascii"))
+    return np.frombuffer(raw, dtype="<i8").astype(np.int64)
+
+
+class PairScheduler(abc.ABC):
+    """Common contract of every pair source the agent-space engines accept.
+
+    A scheduler owns the run's randomness generator and produces ordered
+    ``(responder, initiator)`` pairs of *distinct* agent indices, either one
+    at a time (:meth:`next_pair`, backed by an internal pre-drawn buffer) or
+    as aligned arrays (:meth:`pair_block`, the engines' hot path).  Which
+    pairs are *possible* — and with what probability — is what subclasses
+    define; everything else (buffering, snapshot/restore of the RNG state
+    plus the unconsumed buffer tail) is shared here.
 
     Parameters
     ----------
@@ -37,6 +102,14 @@ class PairSampler:
 
     __slots__ = ("n", "_rng", "_block", "_buffer_a", "_buffer_b", "_cursor")
 
+    #: Registry tag of the concrete scheduler, recorded in snapshots so a
+    #: checkpoint can never be restored into a different topology silently.
+    kind: str = "abstract"
+
+    #: Whether the scheduler samples the complete interaction graph
+    #: uniformly (the model the count-space engines assume implicitly).
+    complete: bool = False
+
     def __init__(self, n: int, rng: RngLike = None, block: int = 1 << 16) -> None:
         if n < 2:
             raise ConfigurationError(f"population size must be >= 2, got {n}")
@@ -50,8 +123,155 @@ class PairSampler:
         self._cursor = 0
 
     # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def pair_block(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return two ``int64`` arrays of length ``count``: one ordered pair
+        of distinct agent indices per row, drawn from this scheduler's
+        interaction distribution."""
+
     def _refill(self) -> None:
-        """Draw a fresh block of candidate pairs."""
+        """Draw a fresh buffer of pairs for :meth:`next_pair`.
+
+        The generic refill delegates to :meth:`pair_block`, whose rows are
+        already collision-free, so the generic :meth:`next_pair` hands them
+        out without per-entry rejection.  (:class:`PairSampler` overrides
+        both with its historical raw-draw + rejection scheme, which its
+        pinned trajectory digests depend on.)
+        """
+        self._buffer_a, self._buffer_b = self.pair_block(self._block)
+        self._cursor = 0
+
+    def next_pair(self) -> Tuple[int, int]:
+        """Return the next ordered pair ``(responder, initiator)``."""
+        if self._cursor >= self._buffer_a.shape[0]:
+            self._refill()
+        a = int(self._buffer_a[self._cursor])
+        b = int(self._buffer_b[self._cursor])
+        self._cursor += 1
+        return a, b
+
+    def pairs(self, count: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``count`` ordered pairs."""
+        for _ in range(int(count)):
+            yield self.next_pair()
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """The underlying NumPy generator (shared, not copied)."""
+        return self._rng
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (the scheduler half of engine checkpoints)
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Bit-exact snapshot: RNG state plus the unconsumed buffer tail.
+
+        :meth:`next_pair` hands out pairs from a pre-drawn block, so a
+        scheduler interrupted mid-block owes its caller the *remaining*
+        buffer entries before any fresh randomness is drawn.  The snapshot
+        stores that tail compactly (base64 of the raw little-endian int64
+        bytes — empty for callers that only use :meth:`pair_block`, which
+        draws directly from the generator) together with the generator
+        state and the scheduler ``kind``, so a restored scheduler produces
+        exactly the pair sequence the original would have and a snapshot
+        can never silently restore into a different topology.
+        """
+        snapshot = {
+            "kind": self.kind,
+            "n": self.n,
+            "rng": rng_state(self._rng),
+            "pending": {
+                "encoding": _PENDING_ENCODING,
+                "a": _pack_pending(self._buffer_a[self._cursor :]),
+                "b": _pack_pending(self._buffer_b[self._cursor :]),
+            },
+        }
+        snapshot.update(self._extra_snapshot())
+        return snapshot
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Rewind this scheduler to a state captured by :meth:`state_snapshot`.
+
+        Accepts both the compact ``pending`` encoding and the legacy
+        ``pending_a``/``pending_b`` Python-int-list layout written by older
+        checkpoints (which also lacked the ``kind`` tag — those are
+        complete-graph snapshots by construction and restore anywhere the
+        caller's engine accepts them, exactly as before).
+        """
+        recorded_kind = snapshot.get("kind")
+        if recorded_kind is not None and recorded_kind != self.kind:
+            raise CheckpointError(
+                f"scheduler snapshot was taken from a {recorded_kind!r} "
+                f"scheduler, cannot restore into {self.kind!r}"
+            )
+        if int(snapshot["n"]) != self.n:
+            raise CheckpointError(
+                f"sampler snapshot was taken for population size "
+                f"{snapshot['n']}, cannot restore into n={self.n}"
+            )
+        restore_rng_state(self._rng, snapshot["rng"])
+        pending = snapshot.get("pending")
+        if pending is not None:
+            if pending.get("encoding") != _PENDING_ENCODING:
+                raise CheckpointError(
+                    f"unknown pending-pair encoding {pending.get('encoding')!r}"
+                )
+            self._buffer_a = _unpack_pending(pending["a"])
+            self._buffer_b = _unpack_pending(pending["b"])
+        else:  # legacy list-of-ints layout
+            self._buffer_a = np.asarray(snapshot["pending_a"], dtype=np.int64)
+            self._buffer_b = np.asarray(snapshot["pending_b"], dtype=np.int64)
+        self._cursor = 0
+        self._extra_restore(snapshot)
+
+    def _extra_snapshot(self) -> dict:
+        """Scheduler-specific snapshot fields (graph seeds, parameters)."""
+        return {}
+
+    def _extra_restore(self, snapshot: dict) -> None:
+        """Restore scheduler-specific fields from :meth:`_extra_snapshot`."""
+
+    # ------------------------------------------------------------------
+    def _orient(
+        self, u: np.ndarray, v: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assign responder/initiator roles uniformly across an edge batch.
+
+        Sampling an undirected edge and a direction bit yields ordered
+        pairs; the direction draw is a separate generator call so every
+        edge-sampling scheduler consumes randomness in the same documented
+        order (edge indices first, directions second).
+        """
+        direction = self._rng.integers(0, 2, size=u.shape[0], dtype=np.int64)
+        forward = direction == 0
+        a = np.where(forward, u, v)
+        b = np.where(forward, v, u)
+        return a, b
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} kind={self.kind!r} n={self.n}>"
+
+
+class PairSampler(PairScheduler):
+    """Uniform ordered pairs of distinct agents: the complete-graph scheduler.
+
+    This is the paper's scheduler and the library's default.  Its draw
+    pattern — raw candidate blocks with per-entry rejection in
+    :meth:`next_pair`, collision-resampled fresh draws in
+    :meth:`pair_block` — is pinned by every trajectory digest in the test
+    suite and must not change; the topology-aware schedulers share the
+    :class:`PairScheduler` buffering instead.
+    """
+
+    __slots__ = ()
+
+    kind = "complete"
+    complete = True
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        """Draw a fresh block of candidate pairs (collisions kept, rejected
+        at hand-out time — the historical scheme the digest pins encode)."""
         self._buffer_a = self._rng.integers(0, self.n, size=self._block, dtype=np.int64)
         self._buffer_b = self._rng.integers(0, self.n, size=self._block, dtype=np.int64)
         self._cursor = 0
@@ -71,11 +291,6 @@ class PairSampler:
             self._cursor += 1
             if a != b:
                 return a, b
-
-    def pairs(self, count: int) -> Iterator[Tuple[int, int]]:
-        """Yield ``count`` ordered pairs."""
-        for _ in range(int(count)):
-            yield self.next_pair()
 
     def pair_block(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
         """Return two arrays of length ``count`` with distinct entries per row.
@@ -97,40 +312,261 @@ class PairSampler:
             collisions = collisions[a[collisions] == b[collisions]]
         return a, b
 
-    @property
-    def generator(self) -> np.random.Generator:
-        """The underlying NumPy generator (shared, not copied)."""
-        return self._rng
 
-    # ------------------------------------------------------------------
-    # Snapshot / restore (the sampler half of engine checkpoints)
-    # ------------------------------------------------------------------
-    def state_snapshot(self) -> dict:
-        """Bit-exact snapshot: RNG state plus the unconsumed buffer tail.
+class CycleScheduler(PairScheduler):
+    """Agents on a ring; interactions happen across uniformly random ring
+    edges, with a uniformly random responder/initiator orientation.
 
-        :meth:`next_pair` hands out pairs from a pre-drawn block, so a
-        sampler interrupted mid-block owes its caller the *remaining* buffer
-        entries before any fresh randomness is drawn.  The snapshot stores
-        that tail (empty for callers that only use :meth:`pair_block`, which
-        draws directly from the generator) together with the generator
-        state, so a restored sampler produces exactly the pair sequence the
-        original would have.
-        """
-        return {
-            "n": self.n,
-            "rng": rng_state(self._rng),
-            "pending_a": self._buffer_a[self._cursor :].tolist(),
-            "pending_b": self._buffer_b[self._cursor :].tolist(),
-        }
+    Edge ``e`` connects agents ``e`` and ``(e + 1) mod n``, so the sampler
+    is two vectorised draws (edge indices, directions) with no rejection.
+    """
 
-    def state_restore(self, snapshot: dict) -> None:
-        """Rewind this sampler to a state captured by :meth:`state_snapshot`."""
-        if int(snapshot["n"]) != self.n:
-            raise CheckpointError(
-                f"sampler snapshot was taken for population size "
-                f"{snapshot['n']}, cannot restore into n={self.n}"
+    __slots__ = ()
+
+    kind = "cycle"
+
+    def pair_block(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        count = int(count)
+        edges = self._rng.integers(0, self.n, size=count, dtype=np.int64)
+        neighbour = edges + 1
+        neighbour[neighbour == self.n] = 0
+        return self._orient(edges, neighbour)
+
+
+class Grid2DScheduler(PairScheduler):
+    """A 2D torus grid; interactions across horizontal/vertical grid edges.
+
+    The population is laid out row-major on a ``rows x cols`` torus
+    (``n = rows * cols``, both sides at least 2).  The directed edge
+    enumeration assigns every agent its right and down edge, so sampling an
+    index in ``[0, 2n)`` selects an edge uniformly from that enumeration;
+    a second draw orients responder/initiator.
+
+    Parameters
+    ----------
+    rows:
+        Grid height.  ``None`` (default) picks the largest divisor of ``n``
+        not exceeding ``sqrt(n)`` (the squarest factorisation).  Populations
+        with no ``rows >= 2, cols >= 2`` factorisation (primes, ``n < 4``)
+        are rejected — use :class:`CycleScheduler` for those.
+    """
+
+    __slots__ = ("rows", "cols")
+
+    kind = "grid2d"
+
+    def __init__(
+        self,
+        n: int,
+        rng: RngLike = None,
+        *,
+        rows: int = None,
+        block: int = 1 << 16,
+    ) -> None:
+        super().__init__(n, rng, block)
+        if rows is None:
+            rows = self._squarest_rows(self.n)
+            if rows is None:
+                raise ConfigurationError(
+                    f"population size {self.n} has no rows x cols "
+                    "factorisation with both sides >= 2 (prime or < 4); "
+                    "choose a composite n or the cycle topology"
+                )
+        rows = int(rows)
+        if rows < 2 or self.n % rows != 0 or self.n // rows < 2:
+            raise ConfigurationError(
+                f"rows={rows} does not factor n={self.n} into a grid with "
+                "both sides >= 2"
             )
-        restore_rng_state(self._rng, snapshot["rng"])
-        self._buffer_a = np.asarray(snapshot["pending_a"], dtype=np.int64)
-        self._buffer_b = np.asarray(snapshot["pending_b"], dtype=np.int64)
-        self._cursor = 0
+        self.rows = rows
+        self.cols = self.n // rows
+
+    @staticmethod
+    def _squarest_rows(n: int) -> "int | None":
+        root = int(np.sqrt(n))
+        # Guard against float truncation right at perfect squares.
+        while (root + 1) * (root + 1) <= n:
+            root += 1
+        for rows in range(root, 1, -1):
+            if n % rows == 0:
+                return rows
+        return None
+
+    def pair_block(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        count = int(count)
+        k = self._rng.integers(0, 2 * self.n, size=count, dtype=np.int64)
+        agent = k >> 1
+        horizontal = (k & 1) == 0
+        row, col = np.divmod(agent, self.cols)
+        col_right = col + 1
+        col_right[col_right == self.cols] = 0
+        row_down = row + 1
+        row_down[row_down == self.rows] = 0
+        neighbour = np.where(
+            horizontal, row * self.cols + col_right, row_down * self.cols + col
+        )
+        return self._orient(agent, neighbour)
+
+    def _extra_snapshot(self) -> dict:
+        return {"rows": self.rows}
+
+    def _extra_restore(self, snapshot: dict) -> None:
+        recorded = int(snapshot.get("rows", self.rows))
+        if recorded != self.rows:
+            raise CheckpointError(
+                f"grid snapshot was taken on a {recorded}-row grid, cannot "
+                f"restore into rows={self.rows}"
+            )
+
+
+class RandomRegularScheduler(PairScheduler):
+    """A random ``d``-regular multigraph; interactions across its edges.
+
+    The graph is the union of ``d/2`` independent random Hamiltonian cycles
+    (each contributes degree 2 to every agent), which is exactly
+    ``d``-regular, never has self-loops, and is built with one vectorised
+    permutation per cycle.  Parallel edges are possible but exponentially
+    rare for ``n >> d``; they merely give the duplicated pair proportionally
+    more contact weight.  The construction is driven by a dedicated **graph
+    seed** (drawn once from the scheduler's generator at construction), so
+    snapshots stay O(1): they record the seed, not the O(d n) edge arrays,
+    and restore rebuilds the identical graph.
+
+    Parameters
+    ----------
+    degree:
+        Even contact degree, ``2 <= degree < n``.
+    """
+
+    __slots__ = ("degree", "_graph_seed", "_edge_u", "_edge_v")
+
+    kind = "random-regular"
+
+    def __init__(
+        self,
+        n: int,
+        rng: RngLike = None,
+        *,
+        degree: int = 4,
+        block: int = 1 << 16,
+    ) -> None:
+        super().__init__(n, rng, block)
+        degree = int(degree)
+        if degree < 2 or degree % 2 != 0:
+            raise ConfigurationError(
+                f"degree must be an even integer >= 2, got {degree}"
+            )
+        if degree >= self.n:
+            raise ConfigurationError(
+                f"degree {degree} needs a population larger than {degree}, "
+                f"got n={self.n}"
+            )
+        self.degree = degree
+        self._graph_seed = int(self._rng.integers(0, 2**62))
+        self._build_graph()
+
+    def _build_graph(self) -> None:
+        graph_rng = np.random.default_rng(self._graph_seed)
+        us, vs = [], []
+        for _ in range(self.degree // 2):
+            perm = graph_rng.permutation(self.n).astype(np.int64)
+            us.append(perm)
+            vs.append(np.roll(perm, -1))
+        self._edge_u = np.concatenate(us)
+        self._edge_v = np.concatenate(vs)
+
+    def pair_block(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        count = int(count)
+        index = self._rng.integers(
+            0, self._edge_u.shape[0], size=count, dtype=np.int64
+        )
+        return self._orient(self._edge_u[index], self._edge_v[index])
+
+    def _extra_snapshot(self) -> dict:
+        return {"degree": self.degree, "graph_seed": self._graph_seed}
+
+    def _extra_restore(self, snapshot: dict) -> None:
+        recorded = int(snapshot.get("degree", self.degree))
+        if recorded != self.degree:
+            raise CheckpointError(
+                f"random-regular snapshot was taken at degree {recorded}, "
+                f"cannot restore into degree={self.degree}"
+            )
+        self._graph_seed = int(snapshot["graph_seed"])
+        self._build_graph()
+
+
+class PowerLawScheduler(PairScheduler):
+    """Complete graph with power-law contact weights (hub-heavy traffic).
+
+    Each endpoint of a pair is drawn independently with probability
+    proportional to ``(i + 1) ** -alpha`` for agent ``i`` (Zipf weights —
+    agent 0 is the heaviest hub), colliding pairs resampled like the uniform
+    sampler's.  ``alpha = 0`` degenerates to the uniform complete graph
+    (though with a different randomness-consumption pattern than
+    :class:`PairSampler`, so it is *not* digest-compatible with it).
+
+    Parameters
+    ----------
+    alpha:
+        Skew exponent, ``>= 0``; 1.0 is classic Zipf.
+    """
+
+    __slots__ = ("alpha", "_cdf")
+
+    kind = "powerlaw"
+
+    def __init__(
+        self,
+        n: int,
+        rng: RngLike = None,
+        *,
+        alpha: float = 1.0,
+        block: int = 1 << 16,
+    ) -> None:
+        super().__init__(n, rng, block)
+        alpha = float(alpha)
+        if not (alpha >= 0.0):
+            raise ConfigurationError(f"alpha must be >= 0, got {alpha}")
+        self.alpha = alpha
+        weights = np.arange(1, self.n + 1, dtype=np.float64) ** (-alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        cdf[-1] = 1.0
+        self._cdf = cdf
+
+    def _draw_endpoints(self, count: int) -> np.ndarray:
+        return np.searchsorted(
+            self._cdf, self._rng.random(count), side="right"
+        ).astype(np.int64)
+
+    def pair_block(self, count: int) -> Tuple[np.ndarray, np.ndarray]:
+        count = int(count)
+        a = self._draw_endpoints(count)
+        b = self._draw_endpoints(count)
+        collisions = np.flatnonzero(a == b)
+        while collisions.size:
+            b[collisions] = self._draw_endpoints(collisions.size)
+            collisions = collisions[a[collisions] == b[collisions]]
+        return a, b
+
+    def _extra_snapshot(self) -> dict:
+        return {"alpha": self.alpha}
+
+    def _extra_restore(self, snapshot: dict) -> None:
+        recorded = float(snapshot.get("alpha", self.alpha))
+        if recorded != self.alpha:
+            raise CheckpointError(
+                f"powerlaw snapshot was taken at alpha={recorded}, cannot "
+                f"restore into alpha={self.alpha}"
+            )
+
+
+#: Scheduler classes by snapshot/registry kind tag.
+SCHEDULER_KINDS: Dict[str, Type[PairScheduler]] = {
+    "complete": PairSampler,
+    "cycle": CycleScheduler,
+    "grid2d": Grid2DScheduler,
+    "random-regular": RandomRegularScheduler,
+    "powerlaw": PowerLawScheduler,
+}

@@ -173,6 +173,15 @@ class Simulation:
         an interrupted write leaves the previous checkpoint intact.
     checkpoint_path:
         Where checkpoints are written (one file, overwritten in place).
+    scenario:
+        Optional :class:`~repro.scenarios.scenario.Scenario` describing the
+        world the protocol runs in (interaction topology, churn, faults).
+        ``None`` — or the default complete fault-free scenario, which
+        normalises to ``None`` — reproduces the idealised model
+        byte-exactly.  An active scenario restricts engine resolution to
+        scenario-capable engines (:func:`repro.engine.dispatch.scenario_capable`)
+        and rides in checkpoints, so a resumed disrupted run continues the
+        same world.
 
     Example::
 
@@ -195,14 +204,29 @@ class Simulation:
         check_every: CheckEvery = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
+        scenario=None,
     ) -> None:
         self.protocol = protocol
         self.n = int(n)
         self.seed = rng if isinstance(rng, int) else None
         self.engine_kwargs = dict(engine_kwargs or {})
-        resolved_cls = resolve_engine(engine_cls, protocol, self.n)
+        if scenario is not None:
+            from repro.scenarios.scenario import active_scenario
+
+            scenario = active_scenario(scenario)
+        self.scenario = scenario
+        resolved_cls = resolve_engine(
+            engine_cls, protocol, self.n, scenario=self.scenario
+        )
+        # The scenario is passed to the engine but kept OUT of
+        # self.engine_kwargs: checkpoint payloads record the two separately
+        # (the scenario under its own key, present only when active), so
+        # default-scenario checkpoints keep the pre-scenario layout.
+        constructor_kwargs = dict(self.engine_kwargs)
+        if self.scenario is not None:
+            constructor_kwargs["scenario"] = self.scenario
         self.engine: BaseEngine = resolved_cls(
-            protocol, n, rng, **self.engine_kwargs
+            protocol, n, rng, **constructor_kwargs
         )
         self.convergence = convergence if convergence is not None else SingleLeader()
         self.recorders: List[Recorder] = list(recorders or [])
@@ -277,7 +301,7 @@ class Simulation:
                 break
         else:  # pragma: no cover - custom engine classes
             engine_spec = f"{engine_cls.__module__}:{engine_cls.__qualname__}"
-        return {
+        payload = {
             "kind": "simulation",
             "engine_cls": engine_spec,
             "engine_kwargs": dict(self.engine_kwargs),
@@ -317,6 +341,13 @@ class Simulation:
                 }
             ),
         }
+        # Present only for disrupted runs: the scenario (a picklable frozen
+        # dataclass) is part of the world the trajectory depends on, so a
+        # resume must reconstruct — and may not silently change — it.
+        # Default runs keep the pre-scenario payload layout.
+        if self.scenario is not None:
+            payload["scenario"] = self.scenario
+        return payload
 
     def write_checkpoint(self) -> Path:
         """Atomically write the current checkpoint to ``checkpoint_path``."""
@@ -342,6 +373,7 @@ class Simulation:
         checkpoint_every: Optional[int] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         engine_kwargs: Optional[dict] = None,
+        scenario=None,
     ) -> "Simulation":
         """Rebuild a simulation from a checkpoint and resume bit-exactly.
 
@@ -402,6 +434,24 @@ class Simulation:
             engine_cls = getattr(importlib.import_module(module_name), qualname)
         if engine_kwargs is None:
             engine_kwargs = checkpoint.get("engine_kwargs") or {}
+        # The recorded scenario is authoritative for reconstruction; a
+        # caller-supplied scenario is only validated against it — resuming a
+        # disrupted run into a different world (or a default run into a
+        # disrupted one) would corrupt the trajectory.
+        recorded_scenario = checkpoint.get("scenario")
+        if scenario is not None:
+            from repro.scenarios.scenario import active_scenario
+
+            requested = active_scenario(scenario)
+            recorded_desc = (
+                None if recorded_scenario is None else recorded_scenario.describe()
+            )
+            requested_desc = None if requested is None else requested.describe()
+            if recorded_desc != requested_desc:
+                raise CheckpointError(
+                    f"checkpoint was taken under scenario {recorded_desc!r}, "
+                    f"cannot resume under scenario {requested_desc!r}"
+                )
         simulation = cls(
             protocol,
             int(checkpoint["n"]),
@@ -415,6 +465,7 @@ class Simulation:
             ),
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
+            scenario=recorded_scenario,
         )
         simulation.engine.restore(checkpoint["engine_snapshot"])
         simulation._last_checkpoint = simulation.engine.interactions
@@ -584,6 +635,14 @@ class Simulation:
     def result(self, *, converged: bool, wall_clock_seconds: float = 0.0) -> RunResult:
         """Build a :class:`RunResult` from the engine's current state."""
         engine = self.engine
+        metadata: Dict[str, object] = {}
+        if self.scenario is not None:
+            metadata["scenario"] = self.scenario.label()
+            counters = getattr(engine, "scenario_counters", None)
+            if counters is not None:
+                events = counters()
+                if events is not None:
+                    metadata["scenario_events"] = events
         return RunResult(
             protocol_name=self.protocol.name,
             n=self.n,
@@ -595,6 +654,7 @@ class Simulation:
             final_counts=engine.state_counts(),
             final_outputs=engine.counts_by_output(),
             wall_clock_seconds=wall_clock_seconds,
+            metadata=metadata,
         )
 
 
@@ -613,6 +673,7 @@ def run_protocol(
     checkpoint_every: Optional[int] = None,
     checkpoint_path: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    scenario=None,
 ) -> RunResult:
     """Run ``protocol`` on ``n`` agents and return the :class:`RunResult`.
 
@@ -674,6 +735,11 @@ def run_protocol(
         from the checkpoint) and continue until the total budget.  When the
         file does not exist the run simply starts from scratch, so the same
         command line works for both the first attempt and every retry.
+    scenario:
+        Optional :class:`~repro.scenarios.scenario.Scenario` (topology +
+        churn + faults); ``None`` is the idealised complete fault-free
+        world.  On resume the checkpoint's recorded scenario is used and a
+        caller-supplied one is validated against it.
     """
     if resume and checkpoint_path is not None and Path(checkpoint_path).exists():
         from repro.experiments.io import read_checkpoint
@@ -698,6 +764,7 @@ def run_protocol(
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
             engine_kwargs=engine_kwargs,
+            scenario=scenario,
         )
     else:
         simulation = Simulation(
@@ -711,6 +778,7 @@ def run_protocol(
             check_every=check_every,
             checkpoint_every=checkpoint_every,
             checkpoint_path=checkpoint_path,
+            scenario=scenario,
         )
     return simulation.run(
         max_parallel_time=max_parallel_time, raise_on_budget=raise_on_budget

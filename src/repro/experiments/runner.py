@@ -123,6 +123,7 @@ def run_cell(
     engine: EngineSpec = None,
     store=None,
     workers: int = 0,
+    scenario=None,
 ) -> List[tuple]:
     """Run one experiment cell (fixed protocol and ``n``, several seeds).
 
@@ -145,11 +146,20 @@ def run_cell(
     — recorders observe a live engine and cannot cross a process
     boundary.
 
+    ``scenario`` (a :class:`~repro.scenarios.Scenario`) runs every seed
+    under a non-default interaction model.  Scenario cells use the serial
+    in-process loop: the replica-vectorised and multi-process schedulers
+    assume the complete fault-free model.
+
     Returns a list of ``(RunResult, recorders)`` pairs, where ``recorders``
     is the (possibly empty) list produced by ``recorder_factory`` for that
     run — experiments read their time series from these.
     """
-    if recorder_factory is None:
+    if scenario is not None:
+        from repro.scenarios import active_scenario
+
+        scenario = active_scenario(scenario)
+    if recorder_factory is None and scenario is None:
         from repro.engine.parallel import run_cells
 
         points = run_cells(
@@ -167,7 +177,7 @@ def run_cell(
     for seed in seeds:
         protocol = protocol_factory(n)
         convergence = convergence_for(protocol)
-        recorders = list(recorder_factory())
+        recorders = list(recorder_factory()) if recorder_factory else []
         result = run_protocol(
             protocol,
             n,
@@ -177,6 +187,7 @@ def run_cell(
             recorders=recorders,
             check_every=check_every,
             engine_cls=engine,
+            scenario=scenario,
         )
         outcomes.append((result, recorders))
     return outcomes
@@ -194,14 +205,16 @@ def sweep(
     engine: EngineSpec = None,
     store=None,
     workers: int = 0,
+    scenario=None,
 ) -> Dict[int, List[tuple]]:
     """Run a full (sizes × seeds) sweep; returns ``{n: [(result, recorders)]}``.
 
     ``store`` and ``workers`` are forwarded to :func:`run_cell` (cell-level
-    resumability and multi-process scheduling for recorder-free sweeps).
-    Seeds are spawned prefix-stably from ``base_seed``, so extending ``ns``
-    or ``repetitions`` keeps the keys — and therefore the stored results —
-    of the smaller sweep valid.
+    resumability and multi-process scheduling for recorder-free sweeps),
+    as is ``scenario`` (non-default interaction model; scenario cells run
+    through the serial loop).  Seeds are spawned prefix-stably from
+    ``base_seed``, so extending ``ns`` or ``repetitions`` keeps the keys —
+    and therefore the stored results — of the smaller sweep valid.
     """
     ns = [int(n) for n in ns]
     seeds = spawn_seeds(base_seed, len(ns) * repetitions)
@@ -220,6 +233,7 @@ def sweep(
             engine=engine,
             store=store,
             workers=workers,
+            scenario=scenario,
         )
     return cells
 

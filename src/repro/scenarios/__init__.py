@@ -1,0 +1,60 @@
+"""The scenario layer: what world does the protocol run in?
+
+The engines simulate a protocol; a **scenario** describes the world around
+it — which pairs of agents *can* interact (:mod:`~repro.scenarios.topology`),
+whether agents come and go (:class:`~repro.scenarios.models.ChurnModel`),
+and whether some of them misbehave
+(:class:`~repro.scenarios.models.FaultModel`).  A
+:class:`~repro.scenarios.scenario.Scenario` bundles the three; the named
+registry provides reproducible disruption presets for the re-election
+pass/fail matrix (``repro experiments run matrix``) and the CLI's
+``--topology/--churn/--faults`` flags.
+
+The default ``Scenario.complete()`` is the paper's idealised model and is
+*observationally invisible*: engines, checkpoints, trajectory digests and
+store keys are byte-identical to passing no scenario at all.
+"""
+
+from repro.scenarios.models import ChurnModel, FaultModel
+from repro.scenarios.runtime import ScenarioRuntime, SingleAliveLeader
+from repro.scenarios.scenario import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    active_scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios.topology import (
+    TOPOLOGY_REGISTRY,
+    Complete,
+    Cycle,
+    Grid2D,
+    PowerLaw,
+    RandomRegular,
+    Topology,
+    available_topologies,
+    topology_from_name,
+)
+
+__all__ = [
+    "Scenario",
+    "active_scenario",
+    "get_scenario",
+    "register_scenario",
+    "available_scenarios",
+    "SCENARIO_REGISTRY",
+    "ChurnModel",
+    "FaultModel",
+    "ScenarioRuntime",
+    "SingleAliveLeader",
+    "Topology",
+    "Complete",
+    "Cycle",
+    "Grid2D",
+    "RandomRegular",
+    "PowerLaw",
+    "TOPOLOGY_REGISTRY",
+    "topology_from_name",
+    "available_topologies",
+]

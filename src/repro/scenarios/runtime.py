@@ -1,0 +1,209 @@
+"""Scenario runtime state: liveness masks, fault assignments, counters.
+
+:class:`ScenarioRuntime` is the mutable per-run companion of a frozen
+:class:`~repro.scenarios.scenario.Scenario`: it tracks which of the ``n``
+agent slots are alive, which have crashed permanently, which are Byzantine,
+and how many of each disruption event have occurred.  The agent-space
+engines own one instance per run (only when the scenario has dynamics —
+topology-only scenarios need none of this) and consult it from their
+stepping loops; its :meth:`state_snapshot`/:meth:`state_restore` ride in
+engine checkpoints so an interrupted disrupted run resumes byte-exactly.
+
+:class:`SingleAliveLeader` is the convergence predicate the re-election
+matrix uses: "exactly one *alive* agent outputs L", which is the honest
+notion of electedness once agents can depart or crash (a dead leader does
+not lead).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.base import BaseEngine
+from repro.engine.convergence import ConvergencePredicate
+from repro.errors import CheckpointError
+from repro.scenarios.scenario import Scenario
+
+__all__ = ["ScenarioRuntime", "SingleAliveLeader"]
+
+#: Churn/crash never reduce the interacting population below this floor —
+#: the pair model needs two distinct agents, and a leave/crash event that
+#: would strand the scheduler is simply skipped (counted, not applied).
+MIN_ALIVE = 2
+
+
+def _pack_mask(mask: np.ndarray) -> bytes:
+    return np.packbits(mask.astype(np.uint8)).tobytes()
+
+
+def _unpack_mask(payload: bytes, n: int) -> np.ndarray:
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8), count=n)
+    return bits.astype(bool)
+
+
+class ScenarioRuntime:
+    """Mutable liveness/fault bookkeeping for one disrupted run.
+
+    Parameters
+    ----------
+    scenario:
+        The (active, non-default) scenario being simulated.
+    n:
+        Population capacity — the fixed size of the engine's agent array.
+    rng:
+        The engine's generator.  When the scenario has a Byzantine
+        fraction, the adversarial subset is drawn here at construction
+        (one ``choice`` call); fault-free-of-Byzantine scenarios draw
+        nothing, and the default no-scenario path never constructs a
+        runtime at all, preserving the pinned digests.
+    join_state_id:
+        Encoded state id that rejoining agents enter (the protocol's
+        initial state), or ``None`` when the scenario has no join churn.
+    """
+
+    __slots__ = (
+        "scenario",
+        "n",
+        "alive",
+        "crashed",
+        "byzantine",
+        "join_state_id",
+        "joins",
+        "leaves",
+        "crashes",
+        "dropped",
+        "byzantine_overwrites",
+        "skipped_dead",
+    )
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        n: int,
+        rng: np.random.Generator,
+        *,
+        join_state_id: Optional[int] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.n = int(n)
+        self.alive = np.ones(self.n, dtype=bool)
+        self.crashed = np.zeros(self.n, dtype=bool)
+        fraction = scenario.faults.byzantine_fraction
+        self.byzantine: Optional[np.ndarray] = None
+        if fraction > 0.0:
+            count = int(round(fraction * self.n))
+            self.byzantine = np.zeros(self.n, dtype=bool)
+            if count > 0:
+                chosen = rng.choice(self.n, size=count, replace=False)
+                self.byzantine[chosen] = True
+        self.join_state_id = join_state_id
+        self.joins = 0
+        self.leaves = 0
+        self.crashes = 0
+        self.dropped = 0
+        self.byzantine_overwrites = 0
+        self.skipped_dead = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def alive_count(self) -> int:
+        return int(self.alive.sum())
+
+    def pick_alive(self, rng: np.random.Generator) -> Optional[int]:
+        """A uniformly random alive agent, or ``None`` at the liveness floor.
+
+        Always consumes exactly one draw when the floor permits removal, so
+        the randomness stream stays a pure function of the event sequence.
+        """
+        indices = np.flatnonzero(self.alive)
+        if indices.size <= MIN_ALIVE:
+            return None
+        return int(indices[rng.integers(0, indices.size)])
+
+    def pick_rejoinable(self, rng: np.random.Generator) -> Optional[int]:
+        """A uniformly random departed (not crashed) slot, or ``None``."""
+        indices = np.flatnonzero(~self.alive & ~self.crashed)
+        if indices.size == 0:
+            return None
+        return int(indices[rng.integers(0, indices.size)])
+
+    def counters(self) -> dict:
+        """Event totals for run metadata."""
+        return {
+            "joins": self.joins,
+            "leaves": self.leaves,
+            "crashes": self.crashes,
+            "dropped": self.dropped,
+            "byzantine_overwrites": self.byzantine_overwrites,
+            "skipped_dead": self.skipped_dead,
+            "alive": self.alive_count,
+        }
+
+    # ------------------------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Compact bit-exact snapshot (masks packed to bits)."""
+        snapshot = {
+            "n": self.n,
+            "alive": _pack_mask(self.alive),
+            "crashed": _pack_mask(self.crashed),
+            "byzantine": None
+            if self.byzantine is None
+            else _pack_mask(self.byzantine),
+            "join_state_id": self.join_state_id,
+            "counters": {
+                "joins": self.joins,
+                "leaves": self.leaves,
+                "crashes": self.crashes,
+                "dropped": self.dropped,
+                "byzantine_overwrites": self.byzantine_overwrites,
+                "skipped_dead": self.skipped_dead,
+            },
+        }
+        return snapshot
+
+    def state_restore(self, snapshot: dict) -> None:
+        if int(snapshot["n"]) != self.n:
+            raise CheckpointError(
+                f"scenario runtime snapshot was taken for population size "
+                f"{snapshot['n']}, cannot restore into n={self.n}"
+            )
+        self.alive = _unpack_mask(snapshot["alive"], self.n)
+        self.crashed = _unpack_mask(snapshot["crashed"], self.n)
+        byzantine = snapshot.get("byzantine")
+        self.byzantine = (
+            None if byzantine is None else _unpack_mask(byzantine, self.n)
+        )
+        self.join_state_id = snapshot.get("join_state_id")
+        counters = snapshot.get("counters", {})
+        self.joins = int(counters.get("joins", 0))
+        self.leaves = int(counters.get("leaves", 0))
+        self.crashes = int(counters.get("crashes", 0))
+        self.dropped = int(counters.get("dropped", 0))
+        self.byzantine_overwrites = int(counters.get("byzantine_overwrites", 0))
+        self.skipped_dead = int(counters.get("skipped_dead", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ScenarioRuntime n={self.n} alive={self.alive_count} "
+            f"crashes={self.crashes}>"
+        )
+
+
+class SingleAliveLeader(ConvergencePredicate):
+    """Exactly one *alive* agent maps to the leader output.
+
+    On engines without liveness tracking (no scenario, or count-space
+    engines where every agent is alive by construction) this degrades to
+    the plain single-leader check, so one predicate serves the whole
+    re-election matrix, disrupted and idealised columns alike.
+    """
+
+    description = "exactly one alive leader-output agent"
+
+    def __call__(self, engine: BaseEngine) -> bool:
+        alive_leaders = getattr(engine, "alive_leader_count", None)
+        if alive_leaders is not None:
+            return alive_leaders() == 1
+        return engine.leader_count() == 1

@@ -1,0 +1,195 @@
+"""The :class:`Scenario` bundle and the named-scenario registry.
+
+A scenario is the full description of the *world* a protocol runs in:
+interaction topology + churn model + fault model.  The default
+``Scenario.complete()`` — complete graph, no churn, no faults — is the
+paper's idealised model and is deliberately indistinguishable from passing
+no scenario at all: :func:`active_scenario` normalises it to ``None`` so
+the default path through engines, dispatch, checkpoints and store keys is
+byte-identical to the pre-scenario library.
+
+The registry provides named, reproducible disruption presets for the
+re-election pass/fail matrix (``repro.experiments.matrix``) and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Optional
+
+from repro.errors import ConfigurationError
+from repro.scenarios.models import ChurnModel, FaultModel
+from repro.scenarios.topology import Complete, Topology
+
+__all__ = [
+    "Scenario",
+    "active_scenario",
+    "SCENARIO_REGISTRY",
+    "get_scenario",
+    "register_scenario",
+    "available_scenarios",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Topology + churn + faults, bundled for engines and experiments."""
+
+    topology: Topology = field(default_factory=Complete)
+    churn: ChurnModel = field(default_factory=ChurnModel)
+    faults: FaultModel = field(default_factory=FaultModel)
+    #: Optional registry name, used for labels only (not part of identity).
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.topology, Topology):
+            raise ConfigurationError(
+                f"scenario topology must be a Topology, got {self.topology!r}"
+            )
+        if not isinstance(self.churn, ChurnModel):
+            raise ConfigurationError(
+                f"scenario churn must be a ChurnModel, got {self.churn!r}"
+            )
+        if not isinstance(self.faults, FaultModel):
+            raise ConfigurationError(
+                f"scenario faults must be a FaultModel, got {self.faults!r}"
+            )
+
+    @classmethod
+    def complete(cls) -> "Scenario":
+        """The paper's default world: complete graph, fault-free, static."""
+        return cls(name="complete")
+
+    def is_default(self) -> bool:
+        """Whether this scenario is observationally the no-scenario world."""
+        return (
+            self.topology.is_complete
+            and self.churn.is_null
+            and self.faults.is_null
+        )
+
+    @property
+    def has_dynamics(self) -> bool:
+        """Whether the scenario needs per-interaction event bookkeeping."""
+        return not (self.churn.is_null and self.faults.is_null)
+
+    def requirements(self) -> FrozenSet[str]:
+        """Capability tags an engine must support to run this scenario.
+
+        Compared against ``BaseEngine.scenario_capabilities`` by
+        :func:`repro.engine.dispatch.scenario_capable`.
+        """
+        tags = set()
+        if not self.topology.is_complete:
+            tags.add("topology")
+        if not self.churn.is_null:
+            tags.add("churn")
+        if not self.faults.is_null:
+            tags.add("faults")
+        return frozenset(tags)
+
+    def describe(self) -> dict:
+        """Stable plain-data identity (store keys, checkpoint validation).
+
+        Deliberately excludes :attr:`name` — two scenarios with identical
+        physics are the same scenario whatever they are called.
+        """
+        return {
+            "topology": self.topology.describe(),
+            "churn": self.churn.describe(),
+            "faults": self.faults.describe(),
+        }
+
+    def label(self) -> str:
+        """Human-readable table label."""
+        if self.name:
+            return self.name
+        parts = [self.topology.name]
+        if not self.churn.is_null:
+            parts.append(f"churn={self.churn.join_rate:g}/{self.churn.leave_rate:g}")
+        if not self.faults.is_null:
+            f = self.faults
+            if f.crash_rate:
+                parts.append(f"crash={f.crash_rate:g}")
+            if f.drop_p:
+                parts.append(f"drop={f.drop_p:g}")
+            if f.byzantine_fraction:
+                parts.append(f"byz={f.byzantine_fraction:g}")
+        return "+".join(parts)
+
+
+def active_scenario(scenario: Optional[Scenario]) -> Optional[Scenario]:
+    """Normalise a scenario argument: the default world becomes ``None``.
+
+    Engines, dispatch and checkpoints branch on "is there an *active*
+    scenario"; mapping ``Scenario.complete()`` to ``None`` here is what
+    makes the default scenario byte-identical to the pre-scenario code
+    path (same randomness consumption, same snapshot payloads, same store
+    keys).
+    """
+    if scenario is None:
+        return None
+    if not isinstance(scenario, Scenario):
+        raise ConfigurationError(
+            f"scenario must be a Scenario (or None), got {scenario!r}"
+        )
+    if scenario.is_default():
+        return None
+    return scenario
+
+
+# ----------------------------------------------------------------------
+# Named scenarios (the matrix experiment's columns)
+# ----------------------------------------------------------------------
+def _named(name: str, **kwargs) -> Callable[[], Scenario]:
+    def factory() -> Scenario:
+        return Scenario(name=name, **kwargs)
+
+    return factory
+
+
+from repro.scenarios.topology import Cycle, Grid2D, PowerLaw, RandomRegular  # noqa: E402
+
+#: Named disruption presets.  Rates are per *interaction*: a symmetric
+#: churn of 2e-3 disturbs roughly 2 agents per parallel-time unit at any
+#: n, and a crash rate of 5e-4 kills ~0.5 agents per parallel-time unit —
+#: strong enough to force visible re-election within a matrix budget,
+#: gentle enough that the alive population never collapses.
+SCENARIO_REGISTRY: Dict[str, Callable[[], Scenario]] = {
+    "complete": Scenario.complete,
+    "cycle": _named("cycle", topology=Cycle()),
+    "grid2d": _named("grid2d", topology=Grid2D()),
+    "random-regular-4": _named("random-regular-4", topology=RandomRegular(degree=4)),
+    "powerlaw": _named("powerlaw", topology=PowerLaw(alpha=1.0)),
+    "churn": _named("churn", churn=ChurnModel.symmetric(2e-3)),
+    "crash": _named("crash", faults=FaultModel(crash_rate=5e-4)),
+    "drop": _named("drop", faults=FaultModel(drop_p=0.2)),
+    "byzantine": _named("byzantine", faults=FaultModel(byzantine_fraction=0.03)),
+    "cycle-churn": _named(
+        "cycle-churn", topology=Cycle(), churn=ChurnModel.symmetric(2e-3)
+    ),
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    """Named scenario from the registry."""
+    try:
+        factory = SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: "
+            f"{', '.join(sorted(SCENARIO_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+def register_scenario(name: str, factory: Callable[[], Scenario]) -> None:
+    """Register a custom named scenario (tests, downstream suites)."""
+    if name in SCENARIO_REGISTRY:
+        raise ConfigurationError(f"scenario {name!r} is already registered")
+    SCENARIO_REGISTRY[name] = factory
+
+
+def available_scenarios() -> list:
+    """Sorted registry names."""
+    return sorted(SCENARIO_REGISTRY)

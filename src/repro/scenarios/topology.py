@@ -1,0 +1,156 @@
+"""Interaction topologies: declarative factories for pair schedulers.
+
+A :class:`Topology` is the *description* of an interaction graph — a small
+frozen dataclass that can live in experiment configurations, checkpoint
+payloads and store keys — while the matching
+:class:`~repro.engine.scheduler.PairScheduler` is the *runtime* object that
+actually draws pairs.  :meth:`Topology.build` bridges the two.
+
+The split matters for reproducibility bookkeeping: ``dataclasses.asdict``
+erases the class of a field-less frozen dataclass, so every topology also
+renders itself to a :meth:`describe` dictionary (kind tag + parameters)
+that experiment keys and checkpoint validation compare instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.engine.scheduler import (
+    CycleScheduler,
+    Grid2DScheduler,
+    PairSampler,
+    PairScheduler,
+    PowerLawScheduler,
+    RandomRegularScheduler,
+)
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Topology",
+    "Complete",
+    "Cycle",
+    "Grid2D",
+    "RandomRegular",
+    "PowerLaw",
+    "TOPOLOGY_REGISTRY",
+    "topology_from_name",
+    "available_topologies",
+]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base class: a declarative interaction-graph description.
+
+    Subclasses override :attr:`name`, :meth:`build` and (when they carry
+    parameters) :meth:`describe`.
+    """
+
+    #: Registry tag; matches the scheduler's ``kind`` where one exists.
+    name = "abstract"
+
+    #: Whether this topology is the uniform complete graph — the model the
+    #: count-space engines assume implicitly.
+    is_complete = False
+
+    def build(self, n: int, rng: np.random.Generator) -> PairScheduler:
+        """Instantiate the runtime scheduler for a population of ``n``."""
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        """Stable plain-data form for store keys and checkpoint validation."""
+        return {"name": self.name}
+
+
+@dataclass(frozen=True)
+class Complete(Topology):
+    """The paper's idealised scheduler: uniform pairs of distinct agents."""
+
+    name = "complete"
+    is_complete = True
+
+    def build(self, n: int, rng: np.random.Generator) -> PairScheduler:
+        return PairSampler(n, rng)
+
+
+@dataclass(frozen=True)
+class Cycle(Topology):
+    """Agents on a ring; interactions across uniformly random ring edges."""
+
+    name = "cycle"
+
+    def build(self, n: int, rng: np.random.Generator) -> PairScheduler:
+        return CycleScheduler(n, rng)
+
+
+@dataclass(frozen=True)
+class Grid2D(Topology):
+    """A 2D torus grid (``rows=None`` picks the squarest factorisation)."""
+
+    name = "grid2d"
+    rows: Optional[int] = None
+
+    def build(self, n: int, rng: np.random.Generator) -> PairScheduler:
+        return Grid2DScheduler(n, rng, rows=self.rows)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "rows": self.rows}
+
+
+@dataclass(frozen=True)
+class RandomRegular(Topology):
+    """A random ``degree``-regular contact graph (graph-seeded, snapshot-stable)."""
+
+    name = "random-regular"
+    degree: int = 4
+
+    def build(self, n: int, rng: np.random.Generator) -> PairScheduler:
+        return RandomRegularScheduler(n, rng, degree=self.degree)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "degree": self.degree}
+
+
+@dataclass(frozen=True)
+class PowerLaw(Topology):
+    """Complete graph with Zipf-weighted contact rates (hub-heavy traffic)."""
+
+    name = "powerlaw"
+    alpha: float = 1.0
+
+    def build(self, n: int, rng: np.random.Generator) -> PairScheduler:
+        return PowerLawScheduler(n, rng, alpha=self.alpha)
+
+    def describe(self) -> dict:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+#: Topology factories by CLI/registry name (zero-argument, default params).
+TOPOLOGY_REGISTRY: Dict[str, Callable[[], Topology]] = {
+    "complete": Complete,
+    "cycle": Cycle,
+    "grid2d": Grid2D,
+    "random-regular": RandomRegular,
+    "powerlaw": PowerLaw,
+}
+
+
+def topology_from_name(name: str) -> Topology:
+    """Default-parameter topology for a registry ``name`` (CLI entry point)."""
+    try:
+        factory = TOPOLOGY_REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown topology {name!r}; available: "
+            f"{', '.join(sorted(TOPOLOGY_REGISTRY))}"
+        ) from None
+    return factory()
+
+
+def available_topologies() -> list:
+    """Sorted registry names (CLI ``choices=``)."""
+    return sorted(TOPOLOGY_REGISTRY)

@@ -292,6 +292,67 @@ def test_simulation_checkpoint_requires_path():
         Simulation(OneWayEpidemic(), 32, checkpoint_every=32)
 
 
+def test_scenario_run_resume_reproduces_uninterrupted_run(tmp_path):
+    """Satellite of the scenario layer: a cycle-topology run with churn,
+    interrupted mid-flight and resumed from disk, reproduces the
+    uninterrupted trajectory byte-for-byte — liveness masks, event
+    counters and the scheduler's graph state all ride in the checkpoint."""
+    from repro.engine.simulation import run_protocol
+    from repro.scenarios import get_scenario
+
+    scenario = get_scenario("cycle-churn")
+    n, total = 48, 40.0
+    path = tmp_path / "disrupted.ckpt"
+
+    def run(max_parallel_time, **kwargs):
+        return run_protocol(
+            SlowLeaderElection(),
+            n,
+            seed=13,
+            max_parallel_time=max_parallel_time,
+            scenario=scenario,
+            **kwargs,
+        )
+
+    full = run(total)
+    assert full.metadata["scenario_events"]["leaves"] > 0  # churn actually hit
+    interrupted = run(total / 2, checkpoint_every=n, checkpoint_path=path)
+    assert path.exists()
+    assert interrupted.interactions < full.interactions
+
+    resumed = run(total, checkpoint_path=path, resume=True)
+    assert resumed.interactions == full.interactions
+    assert resumed.final_counts == full.final_counts
+    assert resumed.final_outputs == full.final_outputs
+    assert resumed.metadata["scenario_events"] == full.metadata["scenario_events"]
+
+
+def test_scenario_resume_rejects_different_scenario(tmp_path):
+    """A checkpoint taken under one scenario must not silently resume under
+    another (or under the default model)."""
+    from repro.engine.simulation import Simulation, run_protocol
+    from repro.scenarios import Cycle, Scenario, get_scenario
+
+    path = tmp_path / "cycle.ckpt"
+    run_protocol(
+        SlowLeaderElection(),
+        48,
+        seed=13,
+        max_parallel_time=10.0,
+        scenario=get_scenario("cycle-churn"),
+        checkpoint_every=48,
+        checkpoint_path=path,
+    )
+    with pytest.raises(CheckpointError, match="scenario"):
+        Simulation.from_checkpoint(
+            SlowLeaderElection(), path, scenario=Scenario(topology=Cycle())
+        )
+    # Omitting the scenario resumes under the recorded one.
+    resumed = Simulation.from_checkpoint(SlowLeaderElection(), path)
+    assert resumed.scenario is not None
+    assert resumed.scenario.describe() == get_scenario("cycle-churn").describe()
+
+
 def test_batch_engine_snapshot_round_trip():
     """The approximate engine shares the snapshot API (ablation runs can be
     checkpointed too)."""

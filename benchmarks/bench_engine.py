@@ -37,7 +37,11 @@ Two entry points:
   at ``n = 10^6`` — the scenario axis's randomness hot path; combine
   ``--no-epidemic --no-gsu19 --topology`` to merge just that section
   into the JSON without re-running (and overwriting) the full-size
-  ablation.
+  ablation.  ``--approx`` adds the approximate-tier section: mean-field
+  and tau-leap wall clock on GSU19 at ``n ∈ {10^6, 10^8, 10^10}``
+  against a gated exact ``countbatch`` comparator, plus the measured
+  tau-leap-vs-sequential KS statistics at ``n = 128`` (the quantities
+  ``tests/test_engine_approx.py`` bounds).
 
 The interesting outputs are the relative throughputs (interactions per
 second): the batched exact engine beats the sequential reference by a
@@ -760,6 +764,201 @@ def run_sweep_ablation(
     }
 
 
+# ----------------------------------------------------------------------
+# Approximate-tier section (--approx)
+
+#: Approximate-tier sizes: the count-batch sweet spot, the headline
+#: calibration scale, and a point where even the compiled count kernel's
+#: exact sampling is minutes-scale — the regime the tier was built for.
+_APPROX_SIZES = (10**6, 10**8, 10**10)
+#: Parallel-time budget per timed leg — past GSU19's dueling phase at
+#: these calibrations, so every engine sees steady-state dynamics.
+_APPROX_TAU = 10.0
+#: Exact countbatch comparator gating: always at 10^6; at 10^8 only
+#: through the compiled count kernel (the Python path would take minutes
+#: per round); never at 10^10, where the approximate tier is the point.
+_APPROX_EXACT_ALWAYS = 10**6
+_APPROX_EXACT_KERNEL = 10**8
+_APPROX_KS_N = 128
+_APPROX_KS_SEEDS = 30
+#: KS workloads: the simplest monotone dynamics and the headline protocol
+#: (the full five-workload sweep lives in tests/test_engine_approx.py;
+#: the bench records the two cheap, representative cells PR over PR).
+_APPROX_KS_WORKLOADS = ("epidemic", "gsu19")
+
+
+def _gsu19_lazy(n: int) -> GSULeaderElection:
+    """GSU19 at the calibration of ``n`` but without the closure BFS.
+
+    ``for_population(n)`` at count-batch scale pre-registers the reachable
+    closure (a ~45 s BFS per calibration, amortised against exact
+    count-space sweeps); the approximate tier discovers its active states
+    lazily in milliseconds, so this derives the (gamma, phi, psi)
+    calibration from ``n`` and pins ``n_hint`` below the closure gate.
+    The exact comparator runs on the same lazily-discovered table — a
+    *smaller* occupied frontier than the registered closure, i.e. the
+    comparison errs in the exact engine's favour.
+    """
+    from repro.core.params import GSUParams
+
+    params = GSUParams.from_population_size(n)
+    return GSULeaderElection(
+        GSUParams(
+            n_hint=1000, gamma=params.gamma, phi=params.phi, psi=params.psi
+        )
+    )
+
+
+def run_approx_ablation(
+    sizes: Sequence[int] = _APPROX_SIZES,
+    rounds: int = 3,
+    tau: float = _APPROX_TAU,
+    ks_seeds: int = _APPROX_KS_SEEDS,
+) -> dict:
+    """Measure the approximate tier's wall clock and its accuracy cost.
+
+    Two measurements:
+
+    * timing — mean-field and tau-leap advance ``tau`` parallel-time units
+      of GSU19 at each size (construction timed separately; rounds
+      interleaved round-robin as in :func:`run_ablation`).  The exact
+      ``countbatch`` comparator rides along where it is feasible (see
+      ``_APPROX_EXACT_*``), so the JSON records the measured speedup the
+      tier buys, not just its absolute cost.
+    * accuracy — the tau-leap engine's two-sample KS statistics against
+      the sequential reference on convergence times and mid-dynamics
+      censuses at ``n = 128`` (disjoint seed ranges), the same quantities
+      the acceptance harness in ``tests/test_engine_approx.py`` bounds.
+      Mean-field is deterministic, so a KS test against it is meaningless;
+      its accuracy contract (O(1/sqrt(n)) mean-occupancy band) is enforced
+      by the harness and not re-measured here.
+    """
+    from repro.analysis.accuracy import census_sample, convergence_sample
+    from repro.analysis.stats import ks_two_sample
+    from repro.engine.meanfield import MeanFieldEngine
+    from repro.engine.tauleap import TauLeapEngine
+
+    def engines_for(n: int) -> Dict[str, Type[BaseEngine]]:
+        cells: Dict[str, Type[BaseEngine]] = {
+            "meanfield": MeanFieldEngine,
+            "tauleap": TauLeapEngine,
+        }
+        if n <= _APPROX_EXACT_ALWAYS or (
+            n <= _APPROX_EXACT_KERNEL and count_kernel_available()
+        ):
+            cells["countbatch"] = CountBatchEngine
+        return cells
+
+    timings: Dict[tuple, List[tuple]] = {}
+    occupied: Dict[tuple, int] = {}
+    for _ in range(rounds):
+        for n in sizes:
+            for name, engine_cls in engines_for(n).items():
+                start = time.perf_counter()
+                engine = engine_cls(_gsu19_lazy(n), n, rng=1)
+                constructed = time.perf_counter()
+                engine.run_parallel_time(tau)
+                finished = time.perf_counter()
+                timings.setdefault((name, n), []).append(
+                    (constructed - start, finished - constructed)
+                )
+                occupied[(name, n)] = len(engine.state_count_items())
+    results: List[dict] = []
+    for (name, n), rows in timings.items():
+        seconds = median(s for _, s in rows)
+        results.append(
+            {
+                "engine": name,
+                "n": n,
+                "parallel_time": tau,
+                "interactions_equivalent": tau * n,
+                "median_construct_seconds": median(c for c, _ in rows),
+                "median_run_seconds": seconds,
+                "best_run_seconds": min(s for _, s in rows),
+                "occupied_states": occupied[(name, n)],
+            }
+        )
+    speedup_vs_countbatch: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        exact = next(
+            (
+                r
+                for r in results
+                if r["n"] == n and r["engine"] == "countbatch"
+            ),
+            None,
+        )
+        if exact is None:
+            continue
+        speedup_vs_countbatch[str(n)] = {
+            r["engine"]: exact["median_run_seconds"] / r["median_run_seconds"]
+            for r in results
+            if r["n"] == n and r["engine"] != "countbatch"
+        }
+
+    ks_records: List[dict] = []
+    reference_seeds = range(ks_seeds)
+    candidate_seeds = [s + 100_000 for s in reference_seeds]
+    for workload in _APPROX_KS_WORKLOADS:
+        conv_ks = ks_two_sample(
+            convergence_sample(
+                SequentialEngine, workload, _APPROX_KS_N, reference_seeds
+            ),
+            convergence_sample(
+                TauLeapEngine, workload, _APPROX_KS_N, candidate_seeds
+            ),
+        )
+        census_ks = ks_two_sample(
+            census_sample(
+                SequentialEngine, workload, _APPROX_KS_N, reference_seeds
+            ),
+            census_sample(
+                TauLeapEngine, workload, _APPROX_KS_N, candidate_seeds
+            ),
+        )
+        ks_records.append(
+            {
+                "workload": workload,
+                "engine": "tauleap",
+                "reference": "sequential",
+                "n": _APPROX_KS_N,
+                "seeds": ks_seeds,
+                "convergence_ks_statistic": conv_ks.statistic,
+                "convergence_ks_pvalue": conv_ks.pvalue,
+                "census_ks_statistic": census_ks.statistic,
+                "census_ks_pvalue": census_ks.pvalue,
+            }
+        )
+
+    return {
+        "approx": {
+            "schema": "bench-engine-approx/v1",
+            "workload": {
+                "protocol": "gsu19-leader-election (lazy table, no closure)",
+                "parallel_time": tau,
+                "metric": (
+                    "seconds to advance tau parallel-time units (median "
+                    "of rounds; construction separate)"
+                ),
+                "rounds": rounds,
+                "count_kernel_available": count_kernel_available(),
+                "note": (
+                    "meanfield/tauleap cost is O(k^2) per step independent "
+                    "of n; the exact comparator is gated (always at 10^6, "
+                    "kernel-only at 10^8, never at 10^10) so the section "
+                    "stays minutes-scale; ks records are tau-leap vs "
+                    "sequential at n = 128 — the acceptance harness in "
+                    "tests/test_engine_approx.py holds these at p > 0.01 "
+                    "across five workloads"
+                ),
+            },
+            "results": results,
+            "speedup_vs_countbatch": speedup_vs_countbatch,
+            "ks": ks_records,
+        }
+    }
+
+
 def write_bench_json(document: dict, path: Path = _DEFAULT_OUTPUT) -> Path:
     """Merge ``document`` into ``path`` (other top-level sections survive)."""
     existing: dict = {}
@@ -826,6 +1025,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "clock (pays the headline calibration's one-time closure BFS)"
         ),
     )
+    parser.add_argument(
+        "--approx",
+        action="store_true",
+        help=(
+            "also measure the approximate tier: mean-field and tau-leap "
+            "wall clock on GSU19 at n in {10^6, 10^8, 10^10} against the "
+            "gated exact countbatch comparator, plus tau-leap-vs-"
+            "sequential KS statistics at n = 128"
+        ),
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     document: dict = {}
     if not args.no_epidemic:
@@ -875,6 +1084,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         document.update(run_sweep_ablation(rounds=max(2, args.rounds - 2)))
     if args.topology:
         document.update(run_topology_ablation(rounds=args.rounds))
+    if args.approx:
+        document.update(run_approx_ablation(rounds=max(2, args.rounds - 2)))
     path = write_bench_json(document, args.out)
     for record in document.get("results", []):
         print(
@@ -903,6 +1114,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"topology {record['scheduler']:>16}  n={record['n']:>8}  "
             f"{record['pairs_per_second'] / 1e6:8.2f} M pairs/s  "
             f"(construct {record['median_construct_seconds']:.3f}s)"
+        )
+    approx_section = document.get("approx", {})
+    for record in approx_section.get("results", []):
+        print(
+            f"approx {record['engine']:>10}  n={record['n']:>12}  "
+            f"{record['median_run_seconds']:8.3f}s for "
+            f"tau={record['parallel_time']:g}  "
+            f"(construct {record['median_construct_seconds']:.3f}s, "
+            f"occupied {record['occupied_states']})"
+        )
+    for n, per_engine in approx_section.get(
+        "speedup_vs_countbatch", {}
+    ).items():
+        gains = ", ".join(
+            f"{name} {value:.1f}x" for name, value in per_engine.items()
+        )
+        print(f"approx speedup vs countbatch at n={n}: {gains}")
+    for record in approx_section.get("ks", []):
+        print(
+            f"approx ks {record['workload']:>14}  "
+            f"convergence p={record['convergence_ks_pvalue']:.3f}  "
+            f"census p={record['census_ks_pvalue']:.3f}"
         )
     sweep_section = document.get("sweep")
     if sweep_section:

@@ -25,7 +25,7 @@ packed dense lookup array (the C kernel's input) and vectorised output
 maps.  Engines built on the same protocol instance share one table, so a
 state pair compiled anywhere serves every hot path.
 
-Five engines are provided:
+Seven engines are provided — five exact, plus an opt-in approximate tier:
 
 * :class:`~repro.engine.engine.SequentialEngine` — the reference engine.  It
   keeps one integer-encoded state per agent and looks transitions up in the
@@ -66,15 +66,28 @@ Five engines are provided:
   (multinomial sampling with counts held fixed within a batch), superseded
   by ``CountBatchEngine`` and kept as the ablation baseline quantifying
   what giving up exactness would buy.  Requesting it by name warns.
+* :class:`~repro.engine.tauleap.TauLeapEngine` — the **approximate tier's**
+  stochastic engine: count-space tau-leaping (binomial per-channel firing
+  counts at frozen start-of-leap probabilities, Cao–Gillespie adaptive leap
+  selection, negative-count rejection).  ``O(k)`` memory; leap length set
+  by the dynamics rather than collision statistics.  Accuracy vs. the exact
+  engines is pinned by the cross-validation harness
+  (``tests/test_engine_approx.py`` via :mod:`repro.analysis.accuracy`).
+* :class:`~repro.engine.meanfield.MeanFieldEngine` — the approximate tier's
+  **deterministic** engine: integrates the protocol's expected-count ODE
+  (the ``n → ∞`` fluid limit) with an adaptive embedded RK pair and exact
+  mass conservation.  Cost independent of ``n`` — instant scaling curves
+  to ``n = 10^12`` and beyond; correct for mean occupancies up to
+  ``O(1/sqrt(n))``, silent about distributions and hitting times.
 
 Engine selection guide
 ======================
 
 All run entry points accept ``engine_cls`` / ``engine`` as a class, a name
 (``"sequential"``, ``"count"``, ``"countbatch"``, ``"fastbatch"``,
-``"batch"``) or ``"auto"`` (the CLI exposes the same choices via
-``--engine``).  Rules of thumb, with per-interaction costs (``k`` = number
-of distinct occupied states):
+``"batch"``, ``"tauleap"``, ``"meanfield"``) or ``"auto"`` (the CLI exposes
+the same choices via ``--engine``).  Rules of thumb, with per-interaction
+costs (``k`` = number of distinct occupied states):
 
 ===============  ==========  ==========================  ======================
 engine           exactness   cost per interaction        use when
@@ -99,7 +112,22 @@ count            exact in    O(k) Python, O(k) memory    auditing the count
                  tion                                    throughput choice
 batch            APPROXIMATE O(k^2) per batch            deprecated — ablation
                                                          baseline only
+tauleap          APPROXIMATE O(k^2) per leap, leaps      opt-in speed knob at
+                             span many interactions      huge n when KS-level
+                             when dynamics are smooth    agreement suffices
+meanfield        APPROXIMATE O(k^2) per RK step,         opt-in n -> infinity
+                 determinis- independent of n            fluid curves; mean
+                 tic                                     occupancies only
 ===============  ==========  ==========================  ======================
+
+The approximate tier is **never** chosen by ``"auto"`` — requesting
+``tauleap`` or ``meanfield`` is an explicit statement that distributional
+(KS-tolerance) or fluid-limit accuracy is acceptable for the run at hand.
+The harness that keeps that statement honest lives in
+``tests/test_engine_approx.py``: tau-leap is held to KS agreement with the
+sequential engine on convergence times and mid-dynamics censuses across
+five workloads, mean-field to an ``O(1/sqrt(n))`` occupancy band, with the
+tolerances documented next to the assertions.
 
 ``"auto"`` (see :func:`~repro.engine.dispatch.auto_engine`) encodes exactly
 this table.  A protocol is *count-capable* when it declares an ``O(k)``
@@ -182,6 +210,8 @@ from repro.engine.count_engine import CountEngine
 from repro.engine.count_batch import CountBatchEngine
 from repro.engine.batch_engine import BatchEngine
 from repro.engine.fast_batch import FastBatchEngine
+from repro.engine.meanfield import MeanFieldEngine
+from repro.engine.tauleap import TauLeapEngine
 from repro.engine.dispatch import (
     ENGINE_NAMES,
     ENGINE_REGISTRY,
@@ -232,6 +262,8 @@ __all__ = [
     "CountBatchEngine",
     "BatchEngine",
     "FastBatchEngine",
+    "MeanFieldEngine",
+    "TauLeapEngine",
     "ENGINE_NAMES",
     "ENGINE_REGISTRY",
     "auto_engine",

@@ -41,6 +41,33 @@ Selection policy (see the measured crossovers in ``BENCH_engine.json``):
   it survives as the ablation baseline quantifying what giving up
   exactness would buy.
 
+The approximate tier (never auto-selected)
+==========================================
+
+Two further engines trade exactness for asymptotics.  Both compile from
+the same :class:`~repro.engine.table.TransitionTable` IR, support the full
+observation / checkpoint API, and are **only** available by explicit
+request — ``auto`` returns exact engines exclusively, so no dispatch path
+can silently downgrade a correctness claim.  Their accuracy against the
+exact tier is pinned by ``tests/test_engine_approx.py`` via
+:mod:`repro.analysis.accuracy`.
+
+* ``TauLeapEngine`` — **approximate** count-space leaping: whole leaps of
+  interactions fire binomial per-channel counts at frozen start-of-leap
+  probabilities, with Cao–Gillespie adaptive leap selection and
+  negative-count rejection.  Same ``O(k)`` memory as the exact count
+  engines, but the leap length is set by the *dynamics* (fraction
+  ``epsilon`` of any count per leap) rather than by collision statistics,
+  so it outruns count-batch when populations are large and dynamics are
+  smooth.
+* ``MeanFieldEngine`` — **deterministic** integration of the protocol's
+  expected-count ODE (the ``n -> infinity`` fluid limit), adaptive
+  embedded RK with exact mass conservation.  Cost is independent of ``n``
+  entirely: a GSU19 scaling curve to ``n = 10^12`` is milliseconds per
+  point.  Correct for mean occupancies up to ``O(1/sqrt(n))``
+  fluctuations; says nothing about distributions or hitting times of
+  individual runs.
+
 The count-batch cost model
 ==========================
 
@@ -77,6 +104,7 @@ randomness differently, each with its own digest pins.)
 
 from __future__ import annotations
 
+import difflib
 import math
 from typing import Dict, Optional, Type, Union
 
@@ -88,7 +116,9 @@ from repro.engine.count_batch import _MVH_SCALAR_MAX_OCCUPIED, CountBatchEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.engine.fast_batch import FastBatchEngine
+from repro.engine.meanfield import MeanFieldEngine
 from repro.engine.protocol import PopulationProtocol
+from repro.engine.tauleap import TauLeapEngine
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -113,6 +143,8 @@ ENGINE_REGISTRY: Dict[str, Type[BaseEngine]] = {
     "countbatch": CountBatchEngine,
     "batch": BatchEngine,
     "fastbatch": FastBatchEngine,
+    "meanfield": MeanFieldEngine,
+    "tauleap": TauLeapEngine,
 }
 
 #: Registry names plus the ``"auto"`` policy, for CLI choices and validation.
@@ -437,9 +469,12 @@ def _resolve_engine_spec(
         try:
             return ENGINE_REGISTRY[name]
         except KeyError:
+            valid = ", ".join(repr(choice) for choice in ENGINE_NAMES)
+            close = difflib.get_close_matches(name, ENGINE_NAMES, n=1)
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
             raise ConfigurationError(
-                f"unknown engine {engine!r}; expected one of {ENGINE_NAMES} "
-                "or an engine class"
+                f"unknown engine {engine!r}{hint}; valid engine names are "
+                f"{valid}, or pass an engine class"
             ) from None
     raise ConfigurationError(
         f"engine specification must be a name or an engine class, got {engine!r}"

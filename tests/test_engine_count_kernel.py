@@ -28,7 +28,7 @@ import hashlib
 import numpy as np
 import pytest
 
-from test_engine_equivalence import WORKLOADS, convergence_sample
+from test_engine_equivalence import EXACT_WORKLOADS, convergence_sample
 from test_engine_trajectory_digests import (
     _CHUNKS,
     _SEED,
@@ -225,7 +225,7 @@ _QUANTILE_BOUNDS = {"gsu19-closure": 3.0}
 
 
 @needs_kernel
-@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("workload", sorted(EXACT_WORKLOADS))
 def test_kernel_agrees_with_python_on_quantile_profiles(workload):
     n, repetitions = 64, 24
     kernel_sample = convergence_sample(
@@ -245,7 +245,7 @@ def test_kernel_agrees_with_python_on_quantile_profiles(workload):
 
 @needs_kernel
 @pytest.mark.slow
-@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("workload", sorted(EXACT_WORKLOADS))
 def test_kernel_vs_python_ks_equivalence(workload):
     """Two-sample KS over 80 seeds per path at n=128.  Like the cross-engine
     suite, the fixed seed ranges were checked to land comfortably above the

@@ -1,16 +1,21 @@
-"""Cross-engine distributional equivalence tests.
+"""Cross-engine distributional equivalence tests (exact tier).
 
 The four exact engines — :class:`SequentialEngine`, :class:`CountEngine`,
 :class:`FastBatchEngine` and :class:`CountBatchEngine` — implement the same
 probabilistic model with different data structures, so the *distribution* of
 any run statistic must agree across them.  The tests here pin that down on
-three workloads (one-way epidemic, 3-state approximate majority, and the
-paper's GSU19 leader-election protocol): each engine produces a sample of
-convergence times over its own disjoint range of seeds, and the samples are
-compared pairwise with a two-sample KS test
-(:func:`repro.analysis.stats.ks_two_sample`, which falls back to an
-asymptotic NumPy implementation when SciPy is unavailable) plus the
-dependency-free quantile-profile distance.
+five workloads: each engine produces a sample of convergence times over its
+own disjoint range of seeds, and the samples are compared pairwise with a
+two-sample KS test (:func:`repro.analysis.stats.ks_two_sample`, which falls
+back to an asymptotic NumPy implementation when SciPy is unavailable) plus
+the dependency-free quantile-profile distance.
+
+The workload definitions and the sampling loop live in
+:mod:`repro.analysis.accuracy` — the same comparator the approximate-tier
+accuracy harness (``tests/test_engine_approx.py``) aims at the tau-leap and
+mean-field engines, with the exact engines as ground truth.  This suite
+parametrises over the five *exact-equivalence* workloads only; the shared
+registry also carries gs18/lottery entries used by the approx harness.
 
 Disjoint seed ranges matter: the fast-batch engine reproduces the sequential
 engine's trajectories *bit for bit* for equal seeds (that stronger property
@@ -30,99 +35,31 @@ many-seed versions are marked ``slow`` and excluded from tier-1 runs (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Type
+from typing import Dict, List
 
 import pytest
 
+from repro.analysis.accuracy import WORKLOADS, convergence_sample
 from repro.analysis.stats import ks_two_sample, quantile_profile_distance
-from repro.core.params import GSUParams
-from repro.core.protocol import GSULeaderElection
-from repro.engine.base import BaseEngine
 from repro.engine.count_batch import CountBatchEngine
 from repro.engine.count_engine import CountEngine
 from repro.engine.engine import SequentialEngine
 from repro.engine.fast_batch import FastBatchEngine
-from repro.protocols.approximate_majority import ApproximateMajority
 from repro.protocols.epidemic import OneWayEpidemic
-from repro.protocols.exact_majority import ExactMajority
 
 EXACT_ENGINES = (SequentialEngine, CountEngine, FastBatchEngine, CountBatchEngine)
 
+#: The workloads every exact engine must agree on (all count-capable).
+EXACT_WORKLOADS = (
+    "epidemic",
+    "exact-majority",
+    "majority",
+    "gsu19",
+    "gsu19-closure",
+)
+
 #: Engine -> seed offset; disjoint ranges keep the samples independent.
 _SEED_STRIDE = 100_000
-
-
-def _epidemic_done(engine: BaseEngine) -> bool:
-    return OneWayEpidemic.fully_informed(engine.state_counts())
-
-
-def _majority_done(engine: BaseEngine) -> bool:
-    counts = engine.state_counts()
-    if counts.get("blank", 0) > 0:
-        return False
-    return counts.get("A", 0) == 0 or counts.get("B", 0) == 0
-
-
-def _single_leader(engine: BaseEngine) -> bool:
-    return engine.leader_count() == 1
-
-
-def _exact_majority_done(engine: BaseEngine) -> bool:
-    return engine.counts_by_output().get("B", 0) == 0
-
-
-#: name -> (protocol factory over n, convergence predicate, parallel-time
-#: budget).  Small populations keep the per-seed cost tiny; the statistics
-#: come from the number of seeds.  "gsu19-closure" runs the protocol with
-#: its reachable closure registered (count-batch-scale n_hint, small
-#: calibration so the BFS is sub-second): identifier layout then comes from
-#: the closure BFS instead of lazy discovery, and the count engines sample
-#: by identifier order — this workload pins that the re-layout is
-#: distributionally invisible.  "exact-majority" covers the newly
-#: count-enabled 4-state baseline.
-WORKLOADS: Dict[str, tuple] = {
-    "epidemic": (lambda n: OneWayEpidemic(), _epidemic_done, 400),
-    "exact-majority": (
-        lambda n: ExactMajority.for_population(n, a_fraction=0.6),
-        _exact_majority_done,
-        800,
-    ),
-    "majority": (
-        lambda n: ApproximateMajority(initial_a_fraction=0.7),
-        _majority_done,
-        400,
-    ),
-    "gsu19": (lambda n: GSULeaderElection.for_population(n), _single_leader, 4000),
-    "gsu19-closure": (
-        lambda n: GSULeaderElection(GSUParams(n_hint=10**8, gamma=4, phi=1, psi=1)),
-        _single_leader,
-        4000,
-    ),
-}
-
-
-def convergence_sample(
-    engine_cls: Type[BaseEngine],
-    workload: str,
-    n: int,
-    seeds: range,
-) -> List[float]:
-    """Convergence times (interactions) of one engine over a range of seeds.
-
-    Every engine checks the predicate on the same cadence (every ``n // 4``
-    interactions), so the samples share the same discretisation and any
-    distributional gap the KS test sees comes from the engines themselves.
-    """
-    factory, predicate, budget = WORKLOADS[workload]
-    times: List[float] = []
-    for seed in seeds:
-        engine = engine_cls(factory(n), n, rng=seed)
-        converged = engine.run_until(
-            predicate, max_interactions=budget * n, check_every=max(1, n // 4)
-        )
-        assert converged, f"{engine_cls.__name__} failed to converge (seed {seed})"
-        times.append(float(engine.interactions))
-    return times
 
 
 def _samples_by_engine(workload: str, n: int, repetitions: int) -> Dict[str, List[float]]:
@@ -150,7 +87,7 @@ def _samples_by_engine(workload: str, n: int, repetitions: int) -> Dict[str, Lis
 _QUANTILE_BOUNDS = {"gsu19-closure": 3.0}
 
 
-@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("workload", sorted(EXACT_WORKLOADS))
 def test_engines_agree_on_quantile_profiles(workload):
     samples = _samples_by_engine(workload, n=64, repetitions=24)
     reference = samples["SequentialEngine"]
@@ -167,18 +104,9 @@ def test_engines_agree_on_quantile_profiles(workload):
 # The full statistical suite: many seeds, proper KS comparison.
 # ----------------------------------------------------------------------
 @pytest.mark.slow
-@pytest.mark.parametrize(
-    "workload,n",
-    [
-        ("epidemic", 128),
-        ("exact-majority", 128),
-        ("majority", 128),
-        ("gsu19", 128),
-        ("gsu19-closure", 128),
-    ],
-)
-def test_cross_engine_ks_equivalence(workload, n):
-    """Pairwise two-sample KS test over 80 seeds per engine.
+@pytest.mark.parametrize("workload", sorted(EXACT_WORKLOADS))
+def test_cross_engine_ks_equivalence(workload):
+    """Pairwise two-sample KS test over 80 seeds per engine at n = 128.
 
     With exact engines the p-value is uniform on [0, 1]; the fixed seed
     ranges below were checked to land comfortably above the 0.01 threshold,
@@ -187,7 +115,7 @@ def test_cross_engine_ks_equivalence(workload, n):
     times by several percent and drives the p-value to ~0 at this sample
     size.
     """
-    samples = _samples_by_engine(workload, n=n, repetitions=80)
+    samples = _samples_by_engine(workload, n=128, repetitions=80)
     names = sorted(samples)
     for i, first in enumerate(names):
         for second in names[i + 1 :]:
@@ -204,12 +132,15 @@ def test_fast_batch_small_block_is_still_exact_in_distribution():
     """A tiny block size (with the NumPy wave path forced) keeps intra-block
     collisions constant and exercises the scalar fallback; the sampled
     convergence-time distribution must still match the sequential engine's."""
-    reference = convergence_sample(SequentialEngine, "epidemic", 96, range(500, 580))
+    epidemic_done = WORKLOADS["epidemic"].predicate
+    reference = convergence_sample(
+        SequentialEngine, "epidemic", 96, range(500, 580), check_every=24
+    )
     batched: List[float] = []
     for seed in range(600, 680):
         engine = FastBatchEngine(OneWayEpidemic(), 96, rng=seed, block=17, kernel="numpy")
         assert engine.run_until(
-            _epidemic_done, max_interactions=400 * 96, check_every=24
+            epidemic_done, max_interactions=400 * 96, check_every=24
         )
         batched.append(float(engine.interactions))
     outcome = ks_two_sample(reference, batched)

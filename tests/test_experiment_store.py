@@ -157,6 +157,28 @@ def test_canonical_engine_spec_forms():
     )
 
 
+def test_approximate_engine_cells_never_alias_exact_ones(tmp_path):
+    """Regression (ISSUE 9): an approximate engine's results must live in
+    their own cells — a tau-leap or mean-field run served from a cached
+    exact cell (or vice versa) would silently launder approximate numbers
+    into an exact-tier figure."""
+    store = ExperimentStore(tmp_path)
+    protocol = SlowLeaderElection()
+    base = dict(convergence=None, max_parallel_time=100.0)
+    keys = {
+        spec: content_key(
+            store.cell_inputs(protocol, 64, 1, engine=spec, **base)
+        )
+        for spec in (None, "sequential", "countbatch", "tauleap", "meanfield")
+    }
+    assert keys["tauleap"] != keys["sequential"]
+    assert keys["meanfield"] != keys["sequential"]
+    assert keys["tauleap"] != keys["countbatch"]
+    assert keys["tauleap"] != keys["meanfield"]
+    # None canonicalises to the sequential default — same (exact) cell.
+    assert keys[None] == keys["sequential"]
+
+
 def test_unreadable_cell_is_a_miss_not_an_error(tmp_path, run_counter):
     store = ExperimentStore(tmp_path)
     _sweep(store, [8], repetitions=1)

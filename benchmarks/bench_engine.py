@@ -755,10 +755,146 @@ def run_sweep_ablation(
                 "cells": seeds_per_cell,
                 "max_parallel_time": 4.0,
                 "available_cpus": cpus,
+                # On < 2 CPUs both legs run serially by design (the
+                # scheduler clamps workers to the affinity mask), so the
+                # speedup ratio measures scheduling overhead, not scaling.
+                "cpu_starved": cpus < 2,
                 "serial_best_seconds": min(serial_rounds),
                 "workers_best_seconds": min(pooled_rounds),
                 "speedup_workers_vs_serial": min(serial_rounds)
                 / min(pooled_rounds),
+            },
+        }
+    }
+
+
+# ----------------------------------------------------------------------
+# In-process parallelism section (--threads)
+
+#: Threads section workload: same headline calibration as the sweep
+#: section, at a population where each timed leg is second-scale — large
+#: enough that the kernel's GIL-released row loop dominates the leg.
+_THREADS_N = 10**7
+_THREADS_REPLICAS = 32
+
+
+def run_threads_ablation(
+    n: int = _THREADS_N,
+    replicas: int = _THREADS_REPLICAS,
+    rounds: int = 3,
+    thread_counts: Sequence[Optional[int]] = (1, 2, 4, None),
+    sweep_n: int = _SWEEP_N,
+    seeds_per_cell: int = 8,
+) -> dict:
+    """Measure the multi-row kernel's thread scaling and the sweep backends.
+
+    Two measurements:
+
+    * ``kernel_scaling`` — one replicated engine (``replicas`` rows of the
+      headline calibration at ``n``) advanced a full budget at each
+      ``kernel_threads`` value (``None`` = all available CPUs).  Results
+      are bit-identical at every thread count by construction (pinned by
+      ``tests/test_engine_threads.py``), so the legs time identical work
+      and the ratio of bests is pure thread scaling.
+    * ``backends`` — the same budget-capped mini-sweep as the sweep
+      section's scheduler leg, driven serially, on the thread backend and
+      on the process backend.
+
+    Both record ``available_cpus`` and a ``cpu_starved`` flag: on a
+    single-CPU runner every leg necessarily times the same serialised work
+    and the ratios measure overhead, not scaling — the acceptance number
+    (>= 3x at 4 threads) is only meaningful where ``cpu_starved`` is false.
+    Requires the compiled count kernel (the caller gates on it).
+    """
+    from repro.engine._count_kernel import kernel_thread_backend
+    from repro.engine.count_batch import replicated_engine
+    from repro.engine.cpus import available_cpus, resolve_kernel_threads
+    from repro.engine.parallel import run_cells
+    from repro.engine.rng import spawn_seeds
+
+    factory = _gsu19_headline_calibration
+    factory(n).reachable_state_closure()  # one-time BFS outside timings
+    cpus = available_cpus()
+    seeds = spawn_seeds(777, replicas)
+    warm = CountBatchEngine(factory(n), n, rng=1)
+    warm.run(n)
+
+    scaling: List[dict] = []
+    one_thread_best: Optional[float] = None
+    for requested in thread_counts:
+        threads = resolve_kernel_threads(requested)
+        legs: List[float] = []
+        for _ in range(rounds):
+            engine = replicated_engine(factory, n, seeds, kernel_threads=threads)
+            start = time.perf_counter()
+            engine.run(n)
+            legs.append(time.perf_counter() - start)
+        best = min(legs)
+        if requested == 1:
+            one_thread_best = best
+        scaling.append(
+            {
+                "requested": "all" if requested is None else requested,
+                "threads": threads,
+                "best_seconds": best,
+                "rounds_seconds": legs,
+            }
+        )
+    if one_thread_best is not None:
+        for record in scaling:
+            record["speedup_vs_1_thread"] = one_thread_best / record["best_seconds"]
+
+    sweep_seeds = list(spawn_seeds(888, seeds_per_cell))
+    backend_rounds: Dict[str, List[float]] = {"serial": [], "thread": [], "process": []}
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_cells(
+            factory, sweep_n, sweep_seeds, max_parallel_time=4.0, engine="countbatch"
+        )
+        backend_rounds["serial"].append(time.perf_counter() - start)
+        for backend in ("thread", "process"):
+            start = time.perf_counter()
+            run_cells(
+                factory,
+                sweep_n,
+                sweep_seeds,
+                max_parallel_time=4.0,
+                engine="countbatch",
+                workers=cpus,
+                backend=backend,
+            )
+            backend_rounds[backend].append(time.perf_counter() - start)
+
+    return {
+        "threads": {
+            "schema": "bench-engine-threads/v1",
+            "workload": {
+                "protocol": "gsu19-leader-election (headline calibration)",
+                "n": n,
+                "replicas": replicas,
+                "rounds": rounds,
+                "metric": "best-of-rounds leg seconds",
+                "kernel_thread_backend": kernel_thread_backend(),
+                "available_cpus": cpus,
+                "cpu_starved": cpus < 2,
+                "acceptance": (
+                    "kernel at 4 threads >= 3x faster than 1 thread "
+                    "(meaningful only where cpu_starved is false)"
+                ),
+            },
+            "kernel_scaling": scaling,
+            "backends": {
+                "cells": seeds_per_cell,
+                "n": sweep_n,
+                "max_parallel_time": 4.0,
+                "workers": cpus,
+                "serial_best_seconds": min(backend_rounds["serial"]),
+                "thread_best_seconds": min(backend_rounds["thread"]),
+                "process_best_seconds": min(backend_rounds["process"]),
+                "speedup_thread_vs_serial": min(backend_rounds["serial"])
+                / min(backend_rounds["thread"]),
+                "speedup_thread_vs_process": min(backend_rounds["process"])
+                / min(backend_rounds["thread"]),
             },
         }
     }
@@ -1026,6 +1162,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--threads",
+        action="store_true",
+        help=(
+            "also measure in-process parallelism: multi-row kernel wall "
+            "clock at 1/2/4/all threads (32 GSU19 replicas at n = 10^7, "
+            "bit-identical legs) and thread-vs-process sweep backends "
+            "(requires the compiled count kernel)"
+        ),
+    )
+    parser.add_argument(
         "--approx",
         action="store_true",
         help=(
@@ -1082,6 +1228,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
     if args.sweep:
         document.update(run_sweep_ablation(rounds=max(2, args.rounds - 2)))
+    if args.threads:
+        if count_kernel_available():
+            document.update(run_threads_ablation(rounds=max(2, args.rounds - 2)))
+        else:
+            print(
+                "--threads skipped: the multi-row kernel scaling section "
+                "requires the compiled count kernel",
+                file=sys.stderr,
+            )
     if args.topology:
         document.update(run_topology_ablation(rounds=args.rounds))
     if args.approx:
@@ -1152,6 +1307,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"vs {scheduler['workers_best_seconds']:.3f}s with "
             f"{scheduler['available_cpus']} worker(s) "
             f"(x{scheduler['speedup_workers_vs_serial']:.2f})"
+            + (" [cpu starved]" if scheduler.get("cpu_starved") else "")
+        )
+    threads_section = document.get("threads")
+    if threads_section:
+        workload = threads_section["workload"]
+        starved = " [cpu starved]" if workload["cpu_starved"] else ""
+        for record in threads_section["kernel_scaling"]:
+            speedup = record.get("speedup_vs_1_thread")
+            gain = f"  (x{speedup:.2f} vs 1 thread)" if speedup else ""
+            print(
+                f"threads kernel: {record['requested']!s:>4} -> "
+                f"{record['threads']} thread(s)  "
+                f"{record['best_seconds']:.3f}s{gain}{starved}"
+            )
+        backends = threads_section["backends"]
+        print(
+            f"threads backends: serial {backends['serial_best_seconds']:.3f}s, "
+            f"thread {backends['thread_best_seconds']:.3f}s, "
+            f"process {backends['process_best_seconds']:.3f}s with "
+            f"{backends['workers']} worker(s) "
+            f"(thread x{backends['speedup_thread_vs_serial']:.2f} vs serial, "
+            f"x{backends['speedup_thread_vs_process']:.2f} vs process)"
+            f"{starved}"
         )
     print(f"wrote {path}")
     return 0

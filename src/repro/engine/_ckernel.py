@@ -48,8 +48,9 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
 __all__ = ["build_library", "load_kernel", "kernel_available", "kernel_cache_dir"]
 
@@ -106,6 +107,14 @@ int64_t repro_apply_block(
 _kernel: Optional[ctypes.CFUNCTYPE] = None
 _load_attempted = False
 
+#: Serialises the first (build + CDLL) load.  The fast path — a re-load
+#: after the attempt flag is set — stays lock-free: the flag is only ever
+#: flipped False -> True under the lock, and module-global reads are atomic
+#: under the GIL, so double-checked locking is sound here.  Without it, two
+#: sweep threads starting cold could each run the build probe and publish
+#: racing ``CDLL`` handles.
+_load_lock = threading.Lock()
+
 
 def kernel_cache_dir() -> Path:
     """Directory the compiled kernel artifacts are cached in.
@@ -123,21 +132,33 @@ def kernel_cache_dir() -> Path:
     return base / "repro" / "kernels"
 
 
-def build_library(source: str, stem: str, cache_dir: Optional[Path] = None) -> Path:
+def build_library(
+    source: str,
+    stem: str,
+    cache_dir: Optional[Path] = None,
+    extra_flags: Sequence[str] = (),
+) -> Path:
     """Compile ``source`` into a cached shared library and return its path.
 
-    The artifact name embeds a digest of the source (``{stem}_{digest}.so``),
-    so a source change compiles a fresh library and an unchanged one is a
-    single ``Path.exists`` check.  The build runs entirely inside a
-    per-process temporary directory created *within* the cache directory
-    (same filesystem, so the final ``os.replace`` publish is atomic) and the
-    temp dir is removed whatever happens — concurrent builders each work in
-    their own directory and race only on the atomic rename, never on the
-    intermediate ``.c``/``.so`` files.  Raises on any failure; callers that
-    must not raise (the kernel loaders) wrap this in their own guard.
+    The artifact name embeds a digest of the source *and* any extra compile
+    flags (``{stem}_{digest}.so``), so a source or flag change compiles a
+    fresh library and an unchanged one is a single ``Path.exists`` check —
+    the same cache can hold e.g. an OpenMP and a pthread build of one kernel
+    side by side.  The build runs entirely inside a per-process temporary
+    directory created *within* the cache directory (same filesystem, so the
+    final ``os.replace`` publish is atomic) and the temp dir is removed
+    whatever happens — concurrent builders each work in their own directory
+    and race only on the atomic rename, never on the intermediate
+    ``.c``/``.so`` files.  ``extra_flags`` are inserted before the output
+    arguments (e.g. ``("-fopenmp",)``); a flag the toolchain rejects makes
+    the compile raise, which is how the count kernel's loader probes its
+    threading variants in order.  Raises on any failure; callers that must
+    not raise (the kernel loaders) wrap this in their own guard.
     """
     cache = kernel_cache_dir() if cache_dir is None else cache_dir
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    extra = list(extra_flags)
+    fingerprint = source + "\x00" + "\x00".join(extra)
+    digest = hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
     lib_path = cache / f"{stem}_{digest}.so"
     if lib_path.exists():
         return lib_path
@@ -151,7 +172,8 @@ def build_library(source: str, stem: str, cache_dir: Optional[Path] = None) -> P
         so_path = build_dir / f"{stem}.so"
         c_path.write_text(source)
         subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", str(so_path), str(c_path), "-lm"],
+            [compiler, "-O2", "-shared", "-fPIC", *extra]
+            + ["-o", str(so_path), str(c_path), "-lm"],
             check=True,
             capture_output=True,
             timeout=120,
@@ -167,12 +189,21 @@ def load_kernel():
     """The compiled block-apply function, or ``None`` when unavailable.
 
     The first call pays the (cached) compilation; subsequent calls are a
-    module-global read.  Never raises.
+    module-global read.  Thread-safe (double-checked on ``_load_attempted``,
+    so the warm path costs nothing) and never raises.
     """
     global _kernel, _load_attempted
     if _load_attempted:
         return _kernel
-    _load_attempted = True
+    with _load_lock:
+        if _load_attempted:
+            return _kernel
+        _kernel = _load_kernel_locked()
+        _load_attempted = True
+    return _kernel
+
+
+def _load_kernel_locked():
     if os.environ.get("REPRO_NO_C_KERNEL"):
         return None
     try:
@@ -190,10 +221,9 @@ def load_kernel():
             ctypes.c_int64,  # cap
             ctypes.c_void_p,  # seen
         ]
-        _kernel = function
+        return function
     except Exception:
-        _kernel = None
-    return _kernel
+        return None
 
 
 def kernel_available() -> bool:

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import ctypes
 import os
+import threading
 from typing import Optional
 
 import numpy as np
@@ -59,6 +60,7 @@ __all__ = [
     "load_count_kernel",
     "load_count_kernel_multi",
     "count_kernel_available",
+    "kernel_thread_backend",
     "seed_kernel_rng",
     "logfact_reserve",
 ]
@@ -66,7 +68,19 @@ __all__ = [
 _SOURCE = r"""
 #include <stdint.h>
 #include <stdlib.h>
+#include <string.h>
 #include <math.h>
+
+/* Threading backend, chosen at compile time by the loader's flag probe:
+ * OpenMP (-fopenmp) where the toolchain has it, raw POSIX threads
+ * (-DREPRO_USE_PTHREADS -pthread) as the portable fallback, and a serial
+ * build (no flags) as the last resort -- the multi-row entry then simply
+ * runs its rows sequentially whatever thread count it is handed. */
+#if defined(_OPENMP)
+#include <omp.h>
+#elif defined(REPRO_USE_PTHREADS)
+#include <pthread.h>
+#endif
 
 /* ------------------------------------------------------------------ */
 /* xoshiro256++ (Blackman & Vigna, public domain)                      */
@@ -106,43 +120,72 @@ static inline double xo_double(uint64_t *s)
 /* responder/pairing-split operand is <= 2L <= 2*jmax, so those HRUA   */
 /* draws become lgamma-free; participant-split operands scale with n   */
 /* and keep the lgamma fallback).                                      */
+/*                                                                     */
+/* Thread safety: the static table is filled by a dlopen-time          */
+/* constructor, so parallel rows only ever read it.  The heap           */
+/* extension is published as an immutable block (its own limit inside   */
+/* the struct) through one release-store; readers take one acquire     */
+/* load, so a repro_logfact_reserve racing a running kernel call --    */
+/* possible under the threaded sweep backend, where ctypes has          */
+/* dropped the GIL -- serves either the old block or the new one, both  */
+/* bit-identical to the lgamma fallback.  Superseded blocks are leaked  */
+/* on purpose (readers may still hold them); doubling growth bounds     */
+/* the total leak by the final block's size.                            */
 /* ------------------------------------------------------------------ */
 #define LOGFACT_TABLE 1024
 static double logfact_table[LOGFACT_TABLE];
-static int logfact_ready = 0;
-static double *logfact_heap = 0;   /* entries [LOGFACT_TABLE, logfact_limit) */
-static int64_t logfact_limit = LOGFACT_TABLE;
+
+__attribute__((constructor)) static void logfact_setup(void)
+{
+    for (int i = 0; i < LOGFACT_TABLE; i++)
+        logfact_table[i] = lgamma((double)i + 1.0);
+}
+
+typedef struct {
+    int64_t limit;          /* entries cover [LOGFACT_TABLE, limit) */
+    double values[];
+} logfact_block;
+
+static logfact_block *logfact_heap = 0;  /* __atomic acquire/release only */
+static int logfact_reserve_lock = 0;     /* spinlock serialising writers */
 
 static double logfactorial(int64_t k)
 {
-    if (k < LOGFACT_TABLE) {
-        if (!logfact_ready) {
-            for (int i = 0; i < LOGFACT_TABLE; i++)
-                logfact_table[i] = lgamma((double)i + 1.0);
-            logfact_ready = 1;
-        }
+    if (k < LOGFACT_TABLE)
         return logfact_table[k];
-    }
-    if (k < logfact_limit)
-        return logfact_heap[k - LOGFACT_TABLE];
+    logfact_block *blk = __atomic_load_n(&logfact_heap, __ATOMIC_ACQUIRE);
+    if (blk && k < blk->limit)
+        return blk->values[k - LOGFACT_TABLE];
     return lgamma((double)k + 1.0);
 }
 
 /* Extend the log-factorial table to cover arguments < limit.  Growth
- * only (never shrinks), allocation failure just keeps the lgamma
- * fallback.  Single-threaded by contract, like the static table init. */
+ * only (never shrinks); allocation failure just keeps the lgamma
+ * fallback.  Safe against concurrent readers (see above) and against
+ * concurrent reservers (the spinlock -- contention is one-off engine
+ * construction, never a hot path). */
 void repro_logfact_reserve(int64_t limit)
 {
-    if (limit <= logfact_limit)
-        return;
-    double *grown = (double *)realloc(
-        logfact_heap, (size_t)(limit - LOGFACT_TABLE) * sizeof(double));
-    if (!grown)
-        return;
-    for (int64_t k = logfact_limit; k < limit; k++)
-        grown[k - LOGFACT_TABLE] = lgamma((double)k + 1.0);
-    logfact_heap = grown;
-    logfact_limit = limit;
+    while (__atomic_exchange_n(&logfact_reserve_lock, 1, __ATOMIC_ACQUIRE))
+        ;
+    logfact_block *old = __atomic_load_n(&logfact_heap, __ATOMIC_RELAXED);
+    int64_t current = old ? old->limit : LOGFACT_TABLE;
+    if (limit > current) {
+        int64_t target = (limit > 2 * current) ? limit : 2 * current;
+        logfact_block *fresh = (logfact_block *)malloc(
+            sizeof(logfact_block)
+            + (size_t)(target - LOGFACT_TABLE) * sizeof(double));
+        if (fresh) {
+            if (old)
+                memcpy(fresh->values, old->values,
+                       (size_t)(current - LOGFACT_TABLE) * sizeof(double));
+            for (int64_t k = current; k < target; k++)
+                fresh->values[k - LOGFACT_TABLE] = lgamma((double)k + 1.0);
+            fresh->limit = target;
+            __atomic_store_n(&logfact_heap, fresh, __ATOMIC_RELEASE);
+        }
+    }
+    __atomic_store_n(&logfact_reserve_lock, 0, __ATOMIC_RELEASE);
 }
 
 /* ------------------------------------------------------------------ */
@@ -616,27 +659,103 @@ int64_t repro_count_batches(
                    rng, seen, scratch, miss);
 }
 
+/* Which threading backend this build carries: 2 = OpenMP, 1 = POSIX
+ * threads, 0 = serial.  Lets the Python side report how the multi-row
+ * entry actually parallelises without re-deriving the flag probe. */
+int32_t repro_thread_backend(void)
+{
+#if defined(_OPENMP)
+    return 2;
+#elif defined(REPRO_USE_PTHREADS)
+    return 1;
+#else
+    return 0;
+#endif
+}
+
+/* Shared read-only description of one multi-row call, plus the atomic
+ * row cursor the pthread workers steal rows from.  Everything a row
+ * writes (its counts/seen/rng/applied/miss slices and its thread's
+ * scratch slab) is disjoint per row or per thread, so the rows are
+ * embarrassingly parallel and scheduling cannot change any trajectory. */
+typedef struct {
+    int64_t *counts;
+    int64_t rows;
+    int64_t stride;
+    const int64_t *ks;
+    int64_t n;
+    const int64_t *budgets;
+    const double *neg_survival;
+    int64_t jmax;
+    const uint64_t *luts;
+    const int64_t *caps;
+    uint64_t *rng;
+    uint8_t *seen;
+    int64_t *scratch;
+    int64_t *applied;
+    int64_t *miss;
+    int64_t cursor;
+} multi_job;
+
+static void multi_row(multi_job *job, int64_t r, int64_t slot)
+{
+    int64_t stride = job->stride;
+    job->applied[r] = run_row(
+        job->counts + r * stride, job->ks[r], stride, job->n,
+        job->budgets[r], job->neg_survival, job->jmax,
+        (const int64_t *)(uintptr_t)job->luts[r], job->caps[r],
+        job->rng + 4 * r, job->seen + r * stride,
+        job->scratch + slot * 10 * stride, job->miss + 2 * r);
+}
+
+#if defined(REPRO_USE_PTHREADS)
+typedef struct {
+    multi_job *job;
+    int64_t slot;
+} multi_worker_arg;
+
+static void *multi_worker(void *arg)
+{
+    multi_worker_arg *wa = (multi_worker_arg *)arg;
+    multi_job *job = wa->job;
+    for (;;) {
+        int64_t r = __atomic_fetch_add(&job->cursor, 1, __ATOMIC_RELAXED);
+        if (r >= job->rows)
+            break;
+        if (job->budgets[r] > 0)
+            multi_row(job, r, wa->slot);
+    }
+    return 0;
+}
+#endif
+
 /* Replica-vectorised entry point: advance `rows` independent replicas,
  * one (rows, stride) count matrix row each, through the same per-row
  * code as the scalar entry -- per-row trajectories are bit-identical
- * to `rows` scalar calls with the same per-row state.  The survival
- * curve and scratch are shared across rows; the LUT is per row (rows
- * sharing one compiled table pass the same address `rows` times, rows
- * with private tables -- lazily discovering protocols, whose id
- * layouts are seed-dependent -- pass their own).
+ * to `rows` scalar calls with the same per-row state, at EVERY thread
+ * count: each row owns its xoshiro256++ stream and its state slices,
+ * each thread owns a private scratch slab, and the only shared data
+ * (survival curve, LUTs, log-factorial tables) is read-only for the
+ * duration of the call, so thread scheduling decides nothing but the
+ * order rows finish in.  The LUT is per row (rows sharing one compiled
+ * table pass the same address `rows` times, rows with private tables --
+ * lazily discovering protocols, whose id layouts are seed-dependent --
+ * pass their own).
  *
- * counts  : (rows, stride) row-major count matrix
- * stride  : matrix row stride, >= every ks[r]
- * ks      : per-row registered-state counts (encoder lengths)
- * budgets : per-row interaction budgets (length rows)
- * rng     : (rows, 4) xoshiro256++ state words
- * luts    : per-row packed-LUT base addresses (length rows)
- * caps    : per-row LUT side lengths (length rows)
- * seen    : (rows, stride) ever-occupied byte masks
- * scratch : one shared 10*stride int64 workspace (rows run
- *           sequentially)
- * applied : out, per-row interactions applied (length rows)
- * miss    : out, (rows, 2) per-row uncompiled pair or (-1, -1)
+ * counts   : (rows, stride) row-major count matrix
+ * stride   : matrix row stride, >= every ks[r]
+ * ks       : per-row registered-state counts (encoder lengths)
+ * budgets  : per-row interaction budgets (length rows)
+ * rng      : (rows, 4) xoshiro256++ state words
+ * luts     : per-row packed-LUT base addresses (length rows)
+ * caps     : per-row LUT side lengths (length rows)
+ * seen     : (rows, stride) ever-occupied byte masks
+ * scratch  : nthreads contiguous 10*stride int64 workspace slabs; every
+ *            slab obeys run_row's zero contract on entry and exit
+ * nthreads : worker count; clamped to [1, rows], and a serial build
+ *            runs the rows sequentially whatever it is handed
+ * applied  : out, per-row interactions applied (length rows)
+ * miss     : out, (rows, 2) per-row uncompiled pair or (-1, -1)
  *
  * Returns the total number of interactions applied across rows.  Rows
  * are independent: one row's miss stops only that row; the caller
@@ -656,23 +775,75 @@ int64_t repro_count_batches_multi(
     uint64_t *rng,
     uint8_t *seen,
     int64_t *scratch,
+    int64_t nthreads,
     int64_t *applied,
     int64_t *miss)
 {
-    int64_t total = 0;
     for (int64_t r = 0; r < rows; r++) {
         applied[r] = 0;
         miss[2 * r] = -1;
         miss[2 * r + 1] = -1;
-        if (budgets[r] <= 0)
-            continue;
-        applied[r] = run_row(counts + r * stride, ks[r], stride, n,
-                             budgets[r], neg_survival, jmax,
-                             (const int64_t *)(uintptr_t)luts[r], caps[r],
-                             rng + 4 * r, seen + r * stride, scratch,
-                             miss + 2 * r);
-        total += applied[r];
     }
+    int64_t nt = nthreads < 1 ? 1 : nthreads;
+    if (nt > rows)
+        nt = rows;
+    multi_job job = {counts, rows, stride, ks, n, budgets, neg_survival,
+                     jmax, luts, caps, rng, seen, scratch, applied, miss, 0};
+#if defined(_OPENMP)
+    if (nt > 1) {
+        #pragma omp parallel num_threads((int)nt)
+        {
+            int64_t slot = (int64_t)omp_get_thread_num();
+            #pragma omp for schedule(dynamic, 1)
+            for (int64_t r = 0; r < rows; r++) {
+                if (budgets[r] > 0)
+                    multi_row(&job, r, slot);
+            }
+        }
+        nt = 0; /* handled */
+    }
+#elif defined(REPRO_USE_PTHREADS)
+    if (nt > 1) {
+        pthread_t *threads =
+            (pthread_t *)malloc((size_t)(nt - 1) * sizeof(pthread_t));
+        multi_worker_arg *args = (multi_worker_arg *)malloc(
+            (size_t)nt * sizeof(multi_worker_arg));
+        if (threads && args) {
+            int64_t spawned = 0;
+            for (int64_t t = 1; t < nt; t++) {
+                args[t].job = &job;
+                args[t].slot = t;
+                if (pthread_create(&threads[t - 1], 0, multi_worker,
+                                   &args[t]) != 0)
+                    break;
+                spawned = t;
+            }
+            args[0].job = &job;
+            args[0].slot = 0;
+            multi_worker(&args[0]);
+            for (int64_t t = 1; t <= spawned; t++)
+                pthread_join(threads[t - 1], 0);
+            /* Rows skipped because a create failed mid-spawn: the cursor
+             * has run past them only if some worker claimed them, so a
+             * serial sweep over still-zero applied rows would double-run.
+             * The cursor protocol already guarantees every row was
+             * claimed exactly once by *someone* (main thread included),
+             * so nothing is left over. */
+            nt = 0; /* handled */
+        }
+        free(threads);
+        free(args);
+    }
+#endif
+    if (nt != 0) {
+        for (int64_t r = 0; r < rows; r++) {
+            if (budgets[r] > 0)
+                multi_row(&job, r, 0);
+        }
+    }
+    int64_t total = 0;
+    for (int64_t r = 0; r < rows; r++)
+        total += applied[r];
     return total;
 }
 """
@@ -680,7 +851,26 @@ int64_t repro_count_batches_multi(
 _kernel: Optional[ctypes.CFUNCTYPE] = None
 _kernel_multi: Optional[ctypes.CFUNCTYPE] = None
 _logfact_reserve: Optional[ctypes.CFUNCTYPE] = None
+_thread_backend: Optional[str] = None
 _load_attempted = False
+
+#: Serialises the first (build + CDLL) load; the warm path is a lock-free
+#: double-checked read of ``_load_attempted`` (same discipline as
+#: :mod:`repro.engine._ckernel`).
+_load_lock = threading.Lock()
+
+#: Threading build variants, probed in order: OpenMP where the toolchain
+#: carries it, raw POSIX threads as the portable fallback, a serial build
+#: (rows run sequentially) as the last resort.  Each variant caches under
+#: its own flag-keyed digest, so a machine that gains or loses OpenMP
+#: simply resolves to a different cached artifact.
+_BUILD_VARIANTS = (
+    ("-fopenmp",),
+    ("-DREPRO_USE_PTHREADS", "-pthread"),
+    (),
+)
+
+_THREAD_BACKEND_NAMES = {2: "openmp", 1: "pthread", 0: "serial"}
 
 _MASK64 = (1 << 64) - 1
 
@@ -711,17 +901,39 @@ def load_count_kernel():
     """The compiled count-batch function, or ``None`` when unavailable.
 
     Same contract as :func:`repro.engine._ckernel.load_kernel`: lazy, cached,
-    never raises, honours ``REPRO_NO_C_KERNEL=1``.
+    thread-safe (double-checked, lock-free when warm), never raises, honours
+    ``REPRO_NO_C_KERNEL=1``.  The build probes the threading variants in
+    :data:`_BUILD_VARIANTS` order; :func:`kernel_thread_backend` reports
+    which one the loaded library carries.
     """
-    global _kernel, _kernel_multi, _logfact_reserve, _load_attempted
+    global _load_attempted
     if _load_attempted:
         return _kernel
-    _load_attempted = True
+    with _load_lock:
+        if _load_attempted:
+            return _kernel
+        _load_count_kernel_locked()
+        _load_attempted = True
+    return _kernel
+
+
+def _load_count_kernel_locked() -> None:
+    global _kernel, _kernel_multi, _logfact_reserve, _thread_backend
     if os.environ.get("REPRO_NO_C_KERNEL"):
-        return None
+        return
+    library = None
+    for flags in _BUILD_VARIANTS:
+        try:
+            lib_path = build_library(
+                _SOURCE, "repro_count_kernel", extra_flags=flags
+            )
+            library = ctypes.CDLL(str(lib_path))
+            break
+        except Exception:
+            continue
+    if library is None:
+        return
     try:
-        lib_path = build_library(_SOURCE, "repro_count_kernel")
-        library = ctypes.CDLL(str(lib_path))
         function = library.repro_count_batches
         function.restype = ctypes.c_int64
         function.argtypes = [
@@ -753,31 +965,52 @@ def load_count_kernel():
             ctypes.c_void_p,  # caps (rows)
             ctypes.c_void_p,  # rng (rows, 4)
             ctypes.c_void_p,  # seen (rows, stride)
-            ctypes.c_void_p,  # scratch (10 * stride)
+            ctypes.c_void_p,  # scratch (nthreads * 10 * stride)
+            ctypes.c_int64,  # nthreads
             ctypes.c_void_p,  # applied (rows)
             ctypes.c_void_p,  # miss (rows, 2)
         ]
         reserve = library.repro_logfact_reserve
         reserve.restype = None
         reserve.argtypes = [ctypes.c_int64]
+        backend = library.repro_thread_backend
+        backend.restype = ctypes.c_int32
+        backend.argtypes = []
         _kernel = function
         _kernel_multi = multi
         _logfact_reserve = reserve
+        _thread_backend = _THREAD_BACKEND_NAMES.get(int(backend()))
     except Exception:
         _kernel = None
         _kernel_multi = None
         _logfact_reserve = None
-    return _kernel
+        _thread_backend = None
 
 
 def load_count_kernel_multi():
     """The replica-vectorised count-batch entry point, or ``None``.
 
     Loads (and caches) the same shared library as :func:`load_count_kernel`;
-    per-row trajectories are bit-identical to the scalar entry point's.
+    per-row trajectories are bit-identical to the scalar entry point's at
+    every thread count (rows own their streams and state slices; threads
+    own their scratch slabs).
     """
     load_count_kernel()
     return _kernel_multi
+
+
+def kernel_thread_backend() -> Optional[str]:
+    """How the loaded multi-row kernel parallelises its rows.
+
+    ``"openmp"``, ``"pthread"`` or ``"serial"`` once the kernel is loaded;
+    ``None`` when the kernel is unavailable.  ``"serial"`` means the build
+    carries no threading support at all (the rarest case: a toolchain with
+    neither OpenMP nor ``-pthread``) and the multi-row entry runs its rows
+    sequentially whatever thread count it is handed — results are identical
+    either way, only the wall clock differs.
+    """
+    load_count_kernel()
+    return _thread_backend
 
 
 #: The heap-extended log-factorial table is capped here (16 MB of

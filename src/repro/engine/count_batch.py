@@ -74,6 +74,7 @@ from repro.engine._count_kernel import (
 )
 from repro.engine.base import BaseEngine
 from repro.engine.count_engine import initial_count_items, sample_weighted_index
+from repro.engine.cpus import resolve_kernel_threads
 from repro.engine.protocol import PopulationProtocol
 from repro.engine.rng import RngLike, make_rng, restore_rng_state, rng_state
 from repro.errors import ConfigurationError, ProtocolError
@@ -608,6 +609,10 @@ class CountBatchEngine(BaseEngine):
                 seen[: self._seen_mask.shape[0]] = self._seen_mask
             self._seen_mask = seen
         table = self.table
+        # Consistent (array, capacity) snapshot; holding ``lut`` keeps the
+        # buffer alive for the duration of the GIL-released C call even if
+        # another thread grows the table meanwhile (stale misses re-run).
+        lut, cap = table.packed_view()
         applied = int(
             self._kernel(
                 self._counts.ctypes.data,
@@ -616,8 +621,8 @@ class CountBatchEngine(BaseEngine):
                 int(budget),
                 self._neg_survival.ctypes.data,
                 self._jmax,
-                table.packed.ctypes.data,
-                table.capacity,
+                lut.ctypes.data,
+                cap,
                 self._kernel_rng.ctypes.data,
                 self._seen_mask.ctypes.data,
                 self._scratch.ctypes.data,
@@ -737,6 +742,14 @@ class ReplicatedCountBatchEngine:
         Forwarded to every row engine.  The replica-vectorised C sweep is
         used when every row holds the compiled kernel; otherwise (or with
         ``kernel="python"``) rows advance through their own scalar path.
+    kernel_threads:
+        Threads the multi-row C sweep runs rows on (OpenMP or pthreads,
+        whichever the kernel was built with).  Defaults to the
+        ``REPRO_KERNEL_THREADS`` environment variable, then
+        :func:`~repro.engine.cpus.available_cpus`.  Every row's RNG
+        stream, counts and scratch slab are thread-private, so results
+        are **bit-for-bit identical at any thread count** — the knob only
+        sets how many rows advance concurrently.
     """
 
     def __init__(
@@ -746,6 +759,7 @@ class ReplicatedCountBatchEngine:
         seeds: Sequence[RngLike],
         *,
         kernel: str = "auto",
+        kernel_threads: Optional[int] = None,
     ) -> None:
         if not protocols:
             raise ConfigurationError("replicated engine requires at least one row")
@@ -767,6 +781,7 @@ class ReplicatedCountBatchEngine:
         self._multi = None
         if all(row._kernel is not None for row in self.rows):
             self._multi = load_count_kernel_multi()
+        self._kernel_threads = resolve_kernel_threads(kernel_threads)
         self._scratch: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
@@ -853,19 +868,26 @@ class ReplicatedCountBatchEngine:
         rng = np.empty((count, 4), dtype=np.uint64)
         luts = np.empty(count, dtype=np.uint64)
         caps = np.empty(count, dtype=np.int64)
-        # The packed LUT buffers must outlive the C call even if a row's
-        # table is re-packed concurrently (it is not — rows run inside one
-        # sequential call — but holding the references makes that explicit).
-        packed = [row.table.packed for row in rows]
+        # Per-row (array, capacity) snapshots taken together under the
+        # table lock; holding the array references keeps every LUT buffer
+        # alive for the duration of the GIL-released C call even if a
+        # table is grown concurrently (another engine sharing it on a
+        # thread-backend sweep) — stale snapshots only produce misses.
+        packed = [row.table.packed_view() for row in rows]
         for r, row in enumerate(rows):
             k = int(ks[r])
             counts[r, :k] = row._counts[:k]
             seen[r, :k] = row._seen_mask[:k]
             rng[r] = row._kernel_rng
-            luts[r] = packed[r].ctypes.data
-            caps[r] = row.table.capacity
-        if self._scratch is None or self._scratch.shape[0] < 10 * stride:
-            self._scratch = np.zeros(10 * stride, dtype=np.int64)
+            luts[r] = packed[r][0].ctypes.data
+            caps[r] = packed[r][1]
+        # Rows are distributed over threads; each thread works in its own
+        # 10*stride scratch slab (the weight regions obey the same
+        # zero-on-entry/zero-on-exit contract as the scalar path, so a
+        # fresh zeroed allocation needs no copying between sweeps).
+        nthreads = max(1, min(self._kernel_threads, count))
+        if self._scratch is None or self._scratch.shape[0] < nthreads * 10 * stride:
+            self._scratch = np.zeros(nthreads * 10 * stride, dtype=np.int64)
         applied = np.zeros(count, dtype=np.int64)
         miss = np.empty((count, 2), dtype=np.int64)
         first = rows[0]
@@ -883,6 +905,7 @@ class ReplicatedCountBatchEngine:
             rng.ctypes.data,
             seen.ctypes.data,
             self._scratch.ctypes.data,
+            nthreads,
             applied.ctypes.data,
             miss.ctypes.data,
         )
@@ -910,6 +933,7 @@ def replicated_engine(
     seeds: Sequence[RngLike],
     *,
     kernel: str = "auto",
+    kernel_threads: Optional[int] = None,
 ) -> ReplicatedCountBatchEngine:
     """Build a :class:`ReplicatedCountBatchEngine` from a protocol factory.
 
@@ -927,4 +951,6 @@ def replicated_engine(
         protocols: List[PopulationProtocol] = [probe] * len(seeds)
     else:
         protocols = [probe] + [factory(n) for _ in range(len(seeds) - 1)]
-    return ReplicatedCountBatchEngine(protocols, n, seeds, kernel=kernel)
+    return ReplicatedCountBatchEngine(
+        protocols, n, seeds, kernel=kernel, kernel_threads=kernel_threads
+    )

@@ -130,6 +130,7 @@ __all__ = [
     "canonical_name",
     "count_capable",
     "countbatch_batch_seconds",
+    "releases_gil",
     "replica_capable",
     "resolve_engine",
     "scenario_capable",
@@ -318,6 +319,28 @@ def replica_capable(engine_cls: Type[BaseEngine]) -> bool:
     per task.
     """
     return engine_cls is CountBatchEngine
+
+
+def releases_gil(
+    engine_cls: Type[BaseEngine], engine_kwargs: Optional[Dict] = None
+) -> bool:
+    """Whether ``engine_cls`` spends its hot loop outside the GIL.
+
+    True exactly when the engine's run path is a compiled C kernel invoked
+    through ctypes (which drops the GIL for the duration of the foreign
+    call): the count-space batched engine with the count kernel, and the
+    exact batched engine with the block-apply kernel.  ``engine_kwargs``
+    are the per-run engine options (``kernel="python"``/``"numpy"`` force
+    the interpreted paths, which hold the GIL throughout).  This is the
+    predicate behind the sweep scheduler's ``backend="auto"`` rule: threads
+    only beat processes when workers genuinely run concurrently.
+    """
+    kernel = (engine_kwargs or {}).get("kernel", "auto")
+    if engine_cls is CountBatchEngine:
+        return kernel != "python" and count_kernel_available()
+    if engine_cls is FastBatchEngine:
+        return kernel != "numpy" and kernel_available()
+    return False
 
 
 def scenario_capable(engine_cls: Type[BaseEngine], scenario=None) -> bool:

@@ -486,6 +486,13 @@ class FastBatchEngine(BaseEngine):
         start = 0
         while True:
             states = self._agent_states
+            # Re-snapshot per iteration: the ``table.apply`` below may have
+            # grown the table, and holding ``lut`` keeps the buffer alive
+            # across the GIL-released call (a concurrently-grown table's
+            # stale snapshot only produces extra misses).  Snapshot before
+            # growing the seen mask — capacity only grows, so the mask is
+            # then guaranteed to cover every id the snapshot can emit.
+            lut, cap = table.packed_view()
             self._ensure_seen()
             start = kernel(
                 states.ctypes.data,
@@ -493,8 +500,8 @@ class FastBatchEngine(BaseEngine):
                 initiators.ctypes.data,
                 m,
                 start,
-                table.packed.ctypes.data,
-                table.capacity,
+                lut.ctypes.data,
+                cap,
                 self._seen.ctypes.data,
             )
             if start >= m:

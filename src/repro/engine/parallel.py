@@ -24,14 +24,31 @@ How a sweep is scheduled
 ========================
 
 The scheduler turns the job list into *work units* and drains them through
-``min(workers, available CPUs, len(pending))`` worker processes (available
-CPUs come from ``os.sched_getaffinity`` where the platform has it, so a
-containerised CI with a CPU quota is not oversubscribed).  Work units are
-pulled from a shared queue as workers free up — work stealing at unit
-granularity — and each completed unit is recorded (and, with a store,
-persisted) **as it finishes**, in completion order, not submission order.
-A crash or kill therefore loses at most the units in flight; everything
-recorded before the interrupt is already on disk.
+``min(workers, available CPUs, len(pending))`` pool workers (available
+CPUs come from :func:`repro.engine.cpus.available_cpus` — the scheduler
+affinity mask capped by ``REPRO_MAX_WORKERS``, so a containerised CI with
+a CPU quota is not oversubscribed).  Work units are pulled from a shared
+queue as workers free up — work stealing at unit granularity — and each
+completed unit is recorded (and, with a store, persisted) **as it
+finishes**, in completion order, not submission order.  A crash or kill
+therefore loses at most the units in flight; everything recorded before
+the interrupt is already on disk.
+
+The pool itself comes in two flavours, selected by ``backend=``:
+``"process"`` workers (full isolation, factories and results pickled
+across the boundary) and ``"thread"`` workers — plain threads in this
+process, useful because the compiled kernel engines spend their hot loops
+inside GIL-*releasing* ctypes calls, so threads deliver the same
+parallelism with no pickling, one shared kernel-build cache and one
+in-process store handle.  The default ``backend="auto"`` picks threads
+exactly when every cell resolves to a GIL-releasing kernel engine
+(:func:`repro.engine.dispatch.releases_gil`) and processes otherwise.
+Either way the cells themselves are bit-identical to serial execution.
+Thread-backend workers running replica-vectorised mega-cells may each
+drive a multi-threaded kernel sweep (``kernel_threads``); the scheduler
+does not divide one budget between the two layers — cap the product via
+``REPRO_MAX_WORKERS`` / ``REPRO_KERNEL_THREADS`` when oversubscription
+matters.
 
 A work unit is normally one cell.  When several pending cells share
 ``(protocol, n, engine)`` and the resolved engine supports it
@@ -86,20 +103,32 @@ smaller sweep already computed.
 
 from __future__ import annotations
 
-import os
 import time as _time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.convergence import ConvergencePredicate, SingleLeader
-from repro.engine.dispatch import EngineSpec, replica_capable, resolve_engine
+from repro.engine.cpus import available_cpus
+from repro.engine.dispatch import (
+    EngineSpec,
+    releases_gil,
+    replica_capable,
+    resolve_engine,
+)
 from repro.engine.rng import spawn_seeds
 from repro.engine.simulation import RunResult, run_protocol
 from repro.errors import ConfigurationError, ReproError, SweepError
 
 __all__ = ["SweepPoint", "available_cpus", "run_cells", "run_many"]
+
+#: Worker-pool backends :func:`run_many` / :func:`run_cells` accept.
+_BACKENDS = ("auto", "thread", "process")
 
 ProtocolFactory = Callable[[int], "PopulationProtocol"]  # noqa: F821 - doc only
 ConvergenceFactory = Callable[[int], Optional[ConvergencePredicate]]
@@ -117,20 +146,6 @@ class SweepPoint:
     seed: int
     result: RunResult
     extra: Dict[str, object] = field(default_factory=dict)
-
-
-def available_cpus() -> int:
-    """CPUs actually available to this process.
-
-    ``os.sched_getaffinity(0)`` respects container / cgroup CPU masks and
-    ``taskset`` restrictions; platforms without it (macOS, Windows) fall
-    back to ``os.cpu_count()``.  Used to clamp sweep worker counts so CI
-    runners with a CPU quota are not oversubscribed.
-    """
-    try:
-        return len(os.sched_getaffinity(0)) or 1
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
 
 
 def _run_single(
@@ -225,7 +240,7 @@ def _mega_run_options(run_kwargs: Dict[str, object]) -> Optional[tuple]:
     if check_every is not None and not isinstance(check_every, int):
         return None  # "auto": per-row adaptive cadences are not grouped
     engine_kwargs = dict(run_kwargs.get("engine_kwargs") or {})
-    if set(engine_kwargs) - {"kernel"}:
+    if set(engine_kwargs) - {"kernel", "kernel_threads"}:
         return None
     return check_every, engine_kwargs
 
@@ -236,6 +251,40 @@ def _groupable(factory: ProtocolFactory, n: int, engine: EngineSpec) -> bool:
         return replica_capable(resolve_engine(engine, factory(n), n))
     except Exception:  # noqa: BLE001 - a broken cell fails in its worker
         return False
+
+
+def _use_thread_backend(
+    backend: str,
+    factory: ProtocolFactory,
+    pending: Sequence[_Job],
+    engine: EngineSpec,
+    run_kwargs: Dict[str, object],
+) -> bool:
+    """Decide threads vs processes for this sweep's worker pool.
+
+    ``"thread"`` / ``"process"`` are explicit.  ``"auto"`` picks threads
+    exactly when every pending cell resolves to an engine whose hot loop
+    runs outside the GIL (:func:`repro.engine.dispatch.releases_gil`) —
+    then threads deliver process-level parallelism while sharing one
+    address space: no factory/result pickling, one kernel-build cache, one
+    in-process store handle.  Any cell on an interpreted engine (or one
+    that fails to resolve — it will fail identically in its worker) makes
+    ``"auto"`` fall back to processes, where the GIL cannot serialise the
+    sweep.
+    """
+    if backend == "thread":
+        return True
+    if backend == "process":
+        return False
+    engine_kwargs = dict(run_kwargs.get("engine_kwargs") or {})
+    for n in {job[1] for job in pending}:
+        try:
+            resolved = resolve_engine(engine, factory(n), n)
+        except Exception:  # noqa: BLE001 - the cell itself will fail later
+            return False
+        if not releases_gil(resolved, engine_kwargs):
+            return False
+    return True
 
 
 def _run_replicated(
@@ -272,7 +321,11 @@ def _run_replicated(
             f"max_parallel_time must be positive, got {max_parallel_time}"
         )
     engine = replicated_engine(
-        factory, n, list(seeds), kernel=engine_kwargs.get("kernel", "auto")
+        factory,
+        n,
+        list(seeds),
+        kernel=engine_kwargs.get("kernel", "auto"),
+        kernel_threads=engine_kwargs.get("kernel_threads"),
     )
     rows = engine.rows
     predicates: List[ConvergencePredicate] = []
@@ -420,8 +473,13 @@ def _run_jobs(
     engine: EngineSpec,
     store,
     run_kwargs: Dict[str, object],
+    backend: str = "auto",
 ) -> List[SweepPoint]:
     """Shared scheduler behind :func:`run_many` and :func:`run_cells`."""
+    if backend not in _BACKENDS:
+        raise ConfigurationError(
+            f"unknown sweep backend {backend!r}; expected one of {_BACKENDS}"
+        )
     # Resolve every cell against the store first, so the scheduler only
     # ever sees the missing cells.
     cached: Dict[int, SweepPoint] = {}
@@ -492,7 +550,15 @@ def _run_jobs(
                 record(unit_jobs, unit_points)
     else:
         max_workers = min(effective, len(units))
-        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        # Threads and processes share the Future/as_completed protocol, so
+        # the backend decision is purely which executor class drains the
+        # units.  record() always runs here in the submitting thread, so
+        # store writes stay single-threaded on both backends.
+        use_threads = _use_thread_backend(
+            backend, factory, pending, engine, dict(run_kwargs)
+        )
+        executor_cls = ThreadPoolExecutor if use_threads else ProcessPoolExecutor
+        with executor_cls(max_workers=max_workers) as executor:
             futures = {
                 executor.submit(
                     _execute_unit,
@@ -529,6 +595,7 @@ def run_many(
     convergence_factory: Optional[ConvergenceFactory] = None,
     workers: Optional[int] = None,
     engine: EngineSpec = None,
+    backend: str = "auto",
     store: Union["ExperimentStore", str, Path, None] = None,  # noqa: F821
     **run_kwargs: object,
 ) -> List[SweepPoint]:
@@ -563,6 +630,16 @@ def run_many(
         :func:`repro.engine.dispatch.resolve_engine`).  Cells resolving to
         a replica-capable engine are grouped into replica-vectorised
         mega-cells (bit-identical per cell; see the module docstring).
+    backend:
+        Worker-pool flavour when ``workers > 1``: ``"process"`` (one OS
+        process per worker, full isolation, pickling at the boundary),
+        ``"thread"`` (one thread per worker in this process — no pickling,
+        shared kernel caches and store handle; parallel only when the
+        engine's hot loop releases the GIL), or ``"auto"`` (the default:
+        threads exactly when every cell resolves to a GIL-releasing kernel
+        engine, processes otherwise).  The backend never changes results —
+        cells are bit-identical across ``"thread"``, ``"process"`` and
+        serial execution.
     store:
         Optional on-disk experiment store (directory path or
         :class:`~repro.experiments.store.ExperimentStore`).  Completed
@@ -612,6 +689,7 @@ def run_many(
         engine=engine,
         store=store,
         run_kwargs=dict(run_kwargs),
+        backend=backend,
     )
 
 
@@ -624,6 +702,7 @@ def run_cells(
     convergence_factory: Optional[ConvergenceFactory] = None,
     workers: int = 0,
     engine: EngineSpec = None,
+    backend: str = "auto",
     store: Union["ExperimentStore", str, Path, None] = None,  # noqa: F821
     **run_kwargs: object,
 ) -> List[SweepPoint]:
@@ -631,11 +710,12 @@ def run_cells(
 
     The experiment layer's entry into the sweep scheduler
     (:func:`repro.experiments.runner.run_cell` routes recorder-free cells
-    here): same store resumability, mega-cell grouping and failure
-    semantics as :func:`run_many`, but with caller-provided seeds and a
-    single ``n``.  When ``convergence_factory`` is ``None`` the predicate
-    comes from the protocol's own ``convergence()`` hook (the experiment
-    convention), falling back to the single-leader default.
+    here): same store resumability, mega-cell grouping, worker-pool
+    ``backend`` selection and failure semantics as :func:`run_many`, but
+    with caller-provided seeds and a single ``n``.  When
+    ``convergence_factory`` is ``None`` the predicate comes from the
+    protocol's own ``convergence()`` hook (the experiment convention),
+    falling back to the single-leader default.
     """
     if not seeds:
         raise ConfigurationError("run_cells requires at least one seed")
@@ -655,4 +735,5 @@ def run_cells(
         engine=engine,
         store=store,
         run_kwargs=dict(run_kwargs),
+        backend=backend,
     )

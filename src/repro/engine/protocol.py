@@ -20,6 +20,7 @@ is the agent listed first and is typically the one updated.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -31,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.table import TransitionTable
 
 __all__ = ["PopulationProtocol", "ProtocolSpec", "LEADER_OUTPUT", "FOLLOWER_OUTPUT"]
+
+#: Serialises first-time table compilation per protocol instance (one
+#: module-wide lock is fine — compilation is a rare, one-time event and a
+#: per-instance lock would burden every protocol ``__init__``).  The cached
+#: re-read inside ``compile`` stays lock-free.
+_compile_lock = threading.Lock()
 
 #: Conventional output symbol for "this agent currently maps to the leader".
 LEADER_OUTPUT = "L"
@@ -154,7 +161,10 @@ class PopulationProtocol(abc.ABC):
         shares one table (scalar ``delta`` dict, packed LUT and output maps)
         — the basis of the engines' shared-transition guarantee and a warm
         start for repeated runs.  Passing an ``encoder`` always builds a
-        fresh, uncached table on top of it.
+        fresh, uncached table on top of it.  Caching is thread-safe
+        (double-checked against a module lock), so two thread-backend sweep
+        workers building engines on one shared protocol get the same table
+        instead of racing two into existence.
         """
         from repro.engine.table import TransitionTable
 
@@ -162,8 +172,11 @@ class PopulationProtocol(abc.ABC):
             return TransitionTable(self, encoder)
         table = self.__dict__.get("_compiled_table")
         if table is None:
-            table = TransitionTable(self)
-            self._compiled_table = table
+            with _compile_lock:
+                table = self.__dict__.get("_compiled_table")
+                if table is None:
+                    table = TransitionTable(self)
+                    self._compiled_table = table
         return table
 
     def describe_state(self, state: State) -> str:

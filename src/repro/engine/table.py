@@ -40,10 +40,30 @@ ever-occupied tracking, interaction counters) stay in the engines.  For
 bit-reproducible *count-engine* runs construct a fresh protocol instance per
 run (all sweep drivers already do), since identifier layout for lazily
 discovered states depends on the table's compilation history.
+
+Thread safety
+=============
+
+Engines on one table may now live in different threads (the sweep
+scheduler's ``backend="thread"`` path, :mod:`repro.engine.parallel`), so
+every lazily *extending* operation — state registration, pair compilation,
+packed-array growth, output memoisation, view-vector extension — runs under
+one per-table lock, double-checked so the compiled hot paths (a ``delta``
+dict hit, an already-interned state, a filled view vector) stay lock-free.
+Readers that hand raw buffer addresses to the C kernels must snapshot the
+packed array and its capacity *together* through :meth:`packed_view`:
+growth swaps in a new array, and pairing a stale capacity with a fresh
+array (or vice versa) would misindex.  A superseded packed array is never
+mutated again, so a kernel call still reading one sees a consistent —
+merely staler — table, takes a miss on any pair compiled since, and
+re-enters against the current buffers; entries themselves are aligned
+int64 stores written exactly once (``-1`` → final value), which every
+platform this project targets performs atomically.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -95,6 +115,11 @@ class TransitionTable:
         # view object: array plus the number of state ids already evaluated.
         self._views: Dict[object, np.ndarray] = {}
         self._views_filled: Dict[object, int] = {}
+        # Guards every lazily extending operation (see the module
+        # docstring's thread-safety contract).  Reentrant because pair
+        # compilation registers output states through encode() while
+        # already holding it.
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # State registration and capacity
@@ -109,6 +134,22 @@ class TransitionTable:
         """The flat packed transition array (consumed by the C kernel)."""
         return self._packed
 
+    def packed_view(self) -> Tuple[np.ndarray, int]:
+        """``(packed array, capacity)`` as one consistent snapshot.
+
+        Kernel callers must take both through this method (under the table
+        lock) rather than reading :attr:`packed` and :attr:`capacity`
+        separately: a concurrent :meth:`_grow` swaps in a larger array and
+        updates the capacity together, and mixing the two generations would
+        misindex every lookup.  Holding the returned array reference also
+        keeps the buffer alive for the duration of a GIL-releasing C call
+        even if the table grows mid-call — the stale array is immutable
+        from then on, so the call simply sees fewer compiled pairs and
+        reports them as misses.
+        """
+        with self._lock:
+            return self._packed, self._capacity
+
     @property
     def compiled_pairs(self) -> int:
         """Number of state pairs whose transition has been compiled."""
@@ -118,11 +159,20 @@ class TransitionTable:
         return len(self.encoder)
 
     def encode(self, state) -> int:
-        """Register ``state`` (growing the packed arrays) and return its id."""
-        sid = self.encoder.encode(state)
-        if len(self.encoder) > self._capacity:
-            self._grow(len(self.encoder))
-        return sid
+        """Register ``state`` (growing the packed arrays) and return its id.
+
+        Lock-free for already-registered states (the overwhelmingly common
+        case once a run is warm); registration itself is serialised so two
+        threads discovering the same state concurrently agree on its id.
+        """
+        sid = self.encoder.try_encode(state)
+        if sid is not None:
+            return sid
+        with self._lock:
+            sid = self.encoder.encode(state)
+            if len(self.encoder) > self._capacity:
+                self._grow(len(self.encoder))
+            return sid
 
     def _grow(self, size: int) -> None:
         capacity = self._capacity
@@ -141,23 +191,37 @@ class TransitionTable:
     # Transitions
     # ------------------------------------------------------------------
     def _compile_pair(self, responder_id: int, initiator_id: int) -> Tuple[int, int]:
-        """Evaluate one state pair and enter it into ``delta`` and ``packed``."""
-        responder = self.encoder.decode(responder_id)
-        initiator = self.encoder.decode(initiator_id)
-        try:
-            new_responder, new_initiator = self.protocol.transition(responder, initiator)
-        except Exception as exc:  # pragma: no cover - defensive
-            raise TransitionError(responder, initiator, str(exc)) from exc
-        new_responder_id = self.encoder.encode(new_responder)
-        new_initiator_id = self.encoder.encode(new_initiator)
-        if len(self.encoder) > self._capacity:
-            self._grow(len(self.encoder))
-        result = (new_responder_id, new_initiator_id)
-        self.delta[(responder_id, initiator_id)] = result
-        self._packed[responder_id * self._capacity + initiator_id] = (
-            new_responder_id << 32
-        ) | new_initiator_id
-        return result
+        """Evaluate one state pair and enter it into ``delta`` and ``packed``.
+
+        Serialised per table; re-checks ``delta`` under the lock so two
+        threads missing on the same pair compile it once (transitions are
+        pure, so a duplicate evaluation would be harmless — the re-check
+        just keeps the "compiled exactly once" accounting exact).
+        """
+        with self._lock:
+            cached = self.delta.get((responder_id, initiator_id))
+            if cached is not None:
+                return cached
+            responder = self.encoder.decode(responder_id)
+            initiator = self.encoder.decode(initiator_id)
+            try:
+                new_responder, new_initiator = self.protocol.transition(
+                    responder, initiator
+                )
+            except Exception as exc:  # pragma: no cover - defensive
+                raise TransitionError(responder, initiator, str(exc)) from exc
+            new_responder_id = self.encoder.encode(new_responder)
+            new_initiator_id = self.encoder.encode(new_initiator)
+            if len(self.encoder) > self._capacity:
+                self._grow(len(self.encoder))
+            result = (new_responder_id, new_initiator_id)
+            self._packed[responder_id * self._capacity + initiator_id] = (
+                new_responder_id << 32
+            ) | new_initiator_id
+            # delta is published last: a lock-free apply() that sees the
+            # entry may rely on every other structure being complete.
+            self.delta[(responder_id, initiator_id)] = result
+            return result
 
     def apply(self, responder_id: int, initiator_id: int) -> Tuple[int, int]:
         """Compiled transition on one pair of state ids (compiling on miss)."""
@@ -175,40 +239,51 @@ class TransitionTable:
         state ids.  While the capacity is small enough, int32 inputs avoid a
         widening pass on the hot path.
         """
-        capacity = self._capacity
+        table, capacity = self.packed_view()
         if responder_ids.dtype == np.int32 and capacity < _INT32_SAFE_CAPACITY:
             flat = responder_ids * np.int32(capacity) + initiator_ids
         else:
             flat = responder_ids.astype(np.int64) * np.int64(capacity) + initiator_ids
-        packed = self._packed.take(flat)
+        packed = table.take(flat)
         if packed.size and int(packed.min()) < 0:
             for key in np.unique(flat[packed < 0]).tolist():
                 self._compile_pair(*divmod(int(key), capacity))
-            if self._capacity != capacity:
-                capacity = self._capacity
+            table, new_capacity = self.packed_view()
+            if new_capacity != capacity:
+                capacity = new_capacity
                 flat = responder_ids.astype(np.int64) * capacity + initiator_ids
-            packed = self._packed.take(flat)
+            packed = table.take(flat)
         return packed >> np.int64(32), packed & np.int64(0xFFFFFFFF)
 
     # ------------------------------------------------------------------
     # Outputs
     # ------------------------------------------------------------------
     def output_of(self, sid: int) -> str:
-        """Output symbol of the state registered under ``sid`` (memoised)."""
+        """Output symbol of the state registered under ``sid`` (memoised).
+
+        A memoised symbol is served lock-free; first evaluation (and the
+        symbol interning it may trigger) is serialised under the table lock.
+        """
         symbols = self._output_symbols
-        while len(symbols) < len(self.encoder):
-            symbols.append(None)
-        symbol = symbols[sid]
-        if symbol is None:
-            symbol = self.protocol.output(self.encoder.decode(sid))
-            symbols[sid] = symbol
-            symbol_id = self._symbol_ids.get(symbol)
-            if symbol_id is None:
-                symbol_id = len(self._symbols)
-                self._symbol_ids[symbol] = symbol_id
-                self._symbols.append(symbol)
-            self._output_ids[sid] = symbol_id
-        return symbol
+        if sid < len(symbols):
+            symbol = symbols[sid]
+            if symbol is not None:
+                return symbol
+        with self._lock:
+            symbols = self._output_symbols
+            while len(symbols) < len(self.encoder):
+                symbols.append(None)
+            symbol = symbols[sid]
+            if symbol is None:
+                symbol = self.protocol.output(self.encoder.decode(sid))
+                symbol_id = self._symbol_ids.get(symbol)
+                if symbol_id is None:
+                    symbol_id = len(self._symbols)
+                    self._symbols.append(symbol)
+                    self._symbol_ids[symbol] = symbol_id
+                self._output_ids[sid] = symbol_id
+                symbols[sid] = symbol
+            return symbol
 
     @property
     def symbols(self) -> List[str]:
@@ -261,25 +336,34 @@ class TransitionTable:
         the reduction itself.
 
         The returned slice aliases the cache: treat it as read-only.
+
+        A fully evaluated vector is served lock-free (the per-check hot
+        path); extension — first evaluation or newly registered states — is
+        serialised under the table lock.
         """
         size = len(self.encoder)
         array = self._views.get(view)
-        filled = self._views_filled.get(view, 0)
-        if array is None:
-            array = np.empty(max(size, _INITIAL_CAPACITY), dtype=np.int64)
-            self._views[view] = array
-        elif array.shape[0] < size:
-            grown = np.empty(max(size, 2 * array.shape[0]), dtype=np.int64)
-            grown[:filled] = array[:filled]
-            array = grown
-            self._views[view] = grown
-        if filled < size:
-            decode = self.encoder.decode
-            compile_state = view.compile_state
-            for sid in range(filled, size):
-                array[sid] = compile_state(decode(sid))
-            self._views_filled[view] = size
-        return array[:size]
+        if array is not None and self._views_filled.get(view, 0) >= size:
+            return array[:size]
+        with self._lock:
+            size = len(self.encoder)
+            array = self._views.get(view)
+            filled = self._views_filled.get(view, 0)
+            if array is None:
+                array = np.empty(max(size, _INITIAL_CAPACITY), dtype=np.int64)
+                self._views[view] = array
+            elif array.shape[0] < size:
+                grown = np.empty(max(size, 2 * array.shape[0]), dtype=np.int64)
+                grown[:filled] = array[:filled]
+                array = grown
+                self._views[view] = grown
+            if filled < size:
+                decode = self.encoder.decode
+                compile_state = view.compile_state
+                for sid in range(filled, size):
+                    array[sid] = compile_state(decode(sid))
+                self._views_filled[view] = size
+            return array[:size]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
